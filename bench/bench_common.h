@@ -1,0 +1,97 @@
+#pragma once
+
+/// @file
+/// Shared helpers for the paper-reproduction benchmark harnesses.
+///
+/// Every bench binary regenerates one table or figure from the paper's
+/// evaluation: it runs the original workload(s) on the simulated platform,
+/// replays the collected traces through Mystique, and prints the same rows
+/// or series the paper reports.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/replayer.h"
+#include "core/similarity.h"
+#include "workloads/harness.h"
+
+namespace mystique::bench {
+
+/// Display names matching the paper's tables.
+inline const char*
+pretty_name(const std::string& workload)
+{
+    if (workload == "param_linear")
+        return "PARAM linear";
+    if (workload == "resnet")
+        return "ResNet";
+    if (workload == "asr")
+        return "ASR";
+    if (workload == "rm")
+        return "RM";
+    return workload.c_str();
+}
+
+/// Default original-run configuration for benches (paper-scale shapes,
+/// shape-only execution, lean iteration counts for wall-clock budget).
+inline wl::RunConfig
+bench_run_config(const std::string& platform = "A100", int world = 1)
+{
+    wl::RunConfig cfg;
+    cfg.platform = platform;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.world_size = world;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 3;
+    cfg.seed = 2023;
+    return cfg;
+}
+
+/// Default replay configuration matching bench_run_config.
+inline core::ReplayConfig
+bench_replay_config(const std::string& platform = "A100")
+{
+    core::ReplayConfig cfg;
+    cfg.platform = platform;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 3;
+    cfg.seed = 4050;
+    return cfg;
+}
+
+/// Runs original + single-rank replay and returns both.
+struct Pair {
+    wl::RunResult original;
+    core::ReplayResult replay;
+};
+
+inline Pair
+run_pair(const std::string& workload, const wl::RunConfig& run_cfg,
+         const core::ReplayConfig& replay_cfg)
+{
+    Pair p{wl::run_original(workload, {}, run_cfg), {}};
+    core::Replayer replayer(p.original.rank0().trace, &p.original.rank0().prof,
+                            replay_cfg);
+    p.replay = replayer.run();
+    return p;
+}
+
+inline void
+print_header(const char* title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("================================================================\n");
+}
+
+inline void
+print_footnote()
+{
+    std::printf("\n(Times are virtual microseconds from the analytic device model;\n"
+                " compare shapes and ratios with the paper, not absolute values.)\n");
+}
+
+} // namespace mystique::bench

@@ -1,0 +1,47 @@
+/// Reproduces Figure 2: the fraction of operator types (ATen, Comms, Fused,
+/// Custom) in a production model running on 8 GPUs, in terms of operator
+/// count, CPU time, and *exposed* GPU time.
+///
+/// Paper shape: ATen dominates all three metrics; Fused is second in count
+/// but has the shortest GPU time; Custom and Comms are few in count but
+/// carry long GPU time.
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace mystique;
+    bench::print_header("Figure 2: Operator breakdown of RM on 8 GPUs");
+    const auto orig = wl::run_original("rm", {}, bench::bench_run_config("A100", 8));
+    const auto rows = orig.rank0().prof.category_breakdown();
+
+    double total_count = 0.0, total_cpu = 0.0, total_exposed = 0.0;
+    for (const auto& [cat, row] : rows) {
+        if (cat == dev::OpCategory::kOther)
+            continue;
+        total_count += static_cast<double>(row.count);
+        total_cpu += row.cpu_time_us;
+        total_exposed += row.exposed_gpu_time_us;
+    }
+
+    std::printf("%-8s %12s %12s %20s\n", "Type", "Count", "CPU time", "GPU time (exposed)");
+    std::printf("--------------------------------------------------------\n");
+    for (const auto cat : {dev::OpCategory::kATen, dev::OpCategory::kComm,
+                           dev::OpCategory::kFused, dev::OpCategory::kCustom}) {
+        const auto it = rows.find(cat);
+        const prof::CategoryBreakdown row =
+            it == rows.end() ? prof::CategoryBreakdown{} : it->second;
+        std::printf("%-8s %11.1f%% %11.1f%% %19.1f%%\n", dev::to_string(cat),
+                    total_count > 0 ? 100.0 * static_cast<double>(row.count) / total_count : 0.0,
+                    total_cpu > 0 ? 100.0 * row.cpu_time_us / total_cpu : 0.0,
+                    total_exposed > 0 ? 100.0 * row.exposed_gpu_time_us / total_exposed
+                                      : 0.0);
+    }
+    std::printf("\nAbsolute per-rank totals: count=%.0f  cpu=%.1f ms  exposed gpu=%.1f ms\n",
+                total_count, total_cpu / 1e3, total_exposed / 1e3);
+    std::printf("Expected shape: ATen takes the lion's share of all three metrics\n"
+                "(paper Figure 2); comms mostly hidden under compute.\n");
+    bench::print_footnote();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/// Reproduces Figure 4: runtime traces of PARAM linear and its generated
+/// benchmark for a single training iteration — two CPU threads (main +
+/// autograd) and the GPU stream, with closely matching end-to-end times.
+///
+/// Exports both chrome traces (viewable in chrome://tracing / Perfetto,
+/// like the paper's screenshots) and prints the timeline summary.
+///
+/// Paper reference: original 14.9 ms vs replay 14.2 ms.
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace mystique;
+    bench::print_header("Figure 4: PARAM linear original vs replayed timeline");
+    const bench::Pair p = bench::run_pair("param_linear", bench::bench_run_config(),
+                                          bench::bench_replay_config());
+
+    p.original.rank0().prof.save_chrome_trace("fig4_original_trace.json");
+    p.replay.prof.save_chrome_trace("fig4_replay_trace.json");
+
+    auto describe = [](const char* label, const prof::ProfilerTrace& t, double e2e_us) {
+        int tid1 = 0, tid2 = 0, wrappers = 0;
+        for (const auto& e : t.cpu_ops()) {
+            if (e.is_wrapper)
+                ++wrappers;
+            else if (e.tid == fw::kMainThread)
+                ++tid1;
+            else
+                ++tid2;
+        }
+        double gpu_busy = 0.0;
+        for (const auto& k : t.kernels())
+            gpu_busy += k.dur;
+        std::printf("%-9s  e2e %7.2f ms | cpu ops: %3d fwd-thread, %3d autograd-thread, "
+                    "%3d wrappers | gpu busy %7.2f ms\n",
+                    label, e2e_us / 1e3, tid1, tid2, wrappers, gpu_busy / 1e3);
+    };
+    describe("original", p.original.rank0().prof, p.original.mean_iter_us);
+    describe("replay", p.replay.prof, p.replay.mean_iter_us);
+
+    std::printf("\nReplay collapses wrapper frames and replays their underlying\n"
+                "operators (\"Replay targets\"), so the replay trace has zero\n"
+                "wrapper events while op and kernel counts match the original.\n");
+    std::printf("Chrome traces written: fig4_original_trace.json, fig4_replay_trace.json\n");
+    std::printf("Paper: original 14.9 ms vs replay 14.2 ms (operator bars interleave\n"
+                "identically; height differences are the skipped wrappers).\n");
+    bench::print_footnote();
+    return 0;
+}

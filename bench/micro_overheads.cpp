@@ -1,0 +1,169 @@
+/// Microbenchmarks of the Mystique machinery itself (google-benchmark):
+/// the costs behind the paper's "lightweight collection / negligible
+/// overhead / initialization-time reconstruction" claims (§3.2, §4.3).
+
+#include <benchmark/benchmark.h>
+
+#include "core/replayer.h"
+#include "et/trace.h"
+#include "jit/ir.h"
+#include "jit/schema.h"
+#include "workloads/harness.h"
+
+namespace {
+
+using namespace mystique;
+
+wl::RunResult&
+cached_param_linear()
+{
+    static wl::RunResult result = [] {
+        wl::RunConfig cfg;
+        cfg.mode = fw::ExecMode::kShapeOnly;
+        cfg.warmup_iterations = 0;
+        cfg.iterations = 1;
+        return wl::run_original("param_linear", {}, cfg);
+    }();
+    return result;
+}
+
+/// Cost of parsing one operator schema string (§4.3.1 reconstruction step 1).
+void
+BM_SchemaParse(benchmark::State& state)
+{
+    const std::string schema =
+        "aten::addmm(Tensor self, Tensor mat1, Tensor mat2, *, Scalar beta=1, "
+        "Scalar alpha=1) -> Tensor";
+    for (auto _ : state) {
+        auto fs = jit::parse_schema(schema);
+        benchmark::DoNotOptimize(fs);
+    }
+}
+BENCHMARK(BM_SchemaParse);
+
+/// Cost of building + parsing the IR text for one operator (steps 2-3).
+void
+BM_IrBuildParse(benchmark::State& state)
+{
+    const jit::FunctionSchema fs = jit::parse_schema(
+        "aten::addmm(Tensor self, Tensor mat1, Tensor mat2, *, Scalar beta=1, "
+        "Scalar alpha=1) -> Tensor");
+    std::vector<jit::Constant> consts(5);
+    consts[0].kind = consts[1].kind = consts[2].kind = jit::Constant::Kind::kTensorInput;
+    consts[3].kind = jit::Constant::Kind::kFloat;
+    consts[4].kind = jit::Constant::Kind::kFloat;
+    for (auto _ : state) {
+        auto graph = jit::parse_ir(jit::build_ir_text(fs, consts));
+        benchmark::DoNotOptimize(graph);
+    }
+}
+BENCHMARK(BM_IrBuildParse);
+
+/// ET JSON serialization cost per trace (storage-path cost, §3.2 claim 4).
+void
+BM_TraceSerialize(benchmark::State& state)
+{
+    const et::ExecutionTrace& trace = cached_param_linear().rank0().trace;
+    for (auto _ : state) {
+        auto text = trace.to_json().dump();
+        benchmark::DoNotOptimize(text);
+    }
+    state.counters["nodes"] = static_cast<double>(trace.size());
+}
+BENCHMARK(BM_TraceSerialize);
+
+/// ET JSON parse cost per trace.
+void
+BM_TraceDeserialize(benchmark::State& state)
+{
+    const std::string text = cached_param_linear().rank0().trace.to_json().dump();
+    for (auto _ : state) {
+        auto trace = et::ExecutionTrace::from_json(Json::parse(text));
+        benchmark::DoNotOptimize(trace);
+    }
+}
+BENCHMARK(BM_TraceDeserialize);
+
+/// Full replay-plan construction (selection + reconstruction + stream
+/// assignment) for a real trace — the replay initialization phase (§4.3.4).
+void
+BM_ReplayPlanBuild(benchmark::State& state)
+{
+    const auto& artifacts = cached_param_linear().rank0();
+    for (auto _ : state) {
+        core::Replayer replayer(artifacts.trace, &artifacts.prof, core::ReplayConfig{});
+        benchmark::DoNotOptimize(replayer.selection().total_selected());
+    }
+}
+BENCHMARK(BM_ReplayPlanBuild);
+
+/// One replayed iteration of the tiny workload (steady-state replay cost).
+void
+BM_ReplayIteration(benchmark::State& state)
+{
+    const auto& artifacts = cached_param_linear().rank0();
+    core::ReplayConfig cfg;
+    cfg.warmup_iterations = 0;
+    cfg.iterations = 1;
+    cfg.collect_profiler = false;
+    for (auto _ : state) {
+        core::Replayer replayer(artifacts.trace, &artifacts.prof, cfg);
+        auto result = replayer.run();
+        benchmark::DoNotOptimize(result.mean_iter_us);
+    }
+}
+BENCHMARK(BM_ReplayIteration);
+
+/// Tracing overhead: one traced vs untraced original iteration.
+void
+BM_OriginalIterationTraced(benchmark::State& state)
+{
+    wl::RunConfig cfg;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = 0;
+    cfg.iterations = 1;
+    cfg.collect_traces = state.range(0) != 0;
+    for (auto _ : state) {
+        auto result = wl::run_original("param_linear", {}, cfg);
+        benchmark::DoNotOptimize(result.mean_iter_us);
+    }
+    state.SetLabel(state.range(0) != 0 ? "traced" : "untraced");
+}
+BENCHMARK(BM_OriginalIterationTraced)->Arg(0)->Arg(1);
+
+/// Collective cost-model evaluation (hot path of comm reconstruction).
+void
+BM_CollectiveCostModel(benchmark::State& state)
+{
+    comm::NetworkModel model;
+    double bytes = 1e6;
+    for (auto _ : state) {
+        const double t =
+            model.collective_us(comm::CollectiveKind::kAllReduce, bytes, 64, true);
+        benchmark::DoNotOptimize(t);
+        bytes = bytes < 1e9 ? bytes * 1.001 : 1e6;
+    }
+}
+BENCHMARK(BM_CollectiveCostModel);
+
+/// Kernel roofline evaluation (hot path of every launch).
+void
+BM_KernelCostModel(benchmark::State& state)
+{
+    const dev::PlatformSpec spec = dev::a100();
+    dev::KernelDesc d;
+    d.kind = dev::KernelKind::kGemm;
+    d.flops = 1e9;
+    d.bytes = 1e7;
+    d.working_set_bytes = 1e7;
+    d.parallelism = 1e6;
+    for (auto _ : state) {
+        const auto t = dev::kernel_time(d, spec);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_KernelCostModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+/// Reproduces Table 3: operator coverage rate (count and execution time)
+/// of the replayer across the four evaluated workloads.
+///
+/// Paper reference: PARAM linear 100/100, ResNet 100/100, ASR 99.6/75.7,
+/// RM 96.8/90.9 (percent).
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace mystique;
+    bench::print_header("Table 3: Ops coverage rate across evaluated workloads");
+    std::printf("%-14s %12s %18s\n", "Model", "Count", "Execution time");
+    std::printf("----------------------------------------------------------------\n");
+    for (const std::string w : {"param_linear", "resnet", "asr", "rm"}) {
+        const auto orig = wl::run_original(w, {}, bench::bench_run_config());
+        core::Replayer replayer(orig.rank0().trace, &orig.rank0().prof,
+                                bench::bench_replay_config());
+        const auto& cov = replayer.coverage_stats();
+        std::printf("%-14s %11.1f%% %17.1f%%\n", bench::pretty_name(w),
+                    100.0 * cov.count_fraction, 100.0 * cov.time_fraction);
+        for (const auto& [name, count] : cov.unsupported_by_name)
+            std::printf("    unsupported: %-42s x%lld\n", name.c_str(),
+                        static_cast<long long>(count));
+    }
+    std::printf("\nPaper:         PARAM 100/100, ResNet 100/100, ASR 99.6/75.7, RM 96.8/90.9\n");
+    bench::print_footnote();
+    return 0;
+}

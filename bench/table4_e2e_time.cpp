@@ -1,0 +1,32 @@
+/// Reproduces Table 4: end-to-end execution time of a single training
+/// iteration — original, original excluding unsupported operators (the
+/// calibrated baseline), and replay — for each workload on one GPU.
+///
+/// Paper reference (ms): PARAM 14.9/14.9/14.1, ResNet 64.4/64.4/70.7,
+/// ASR 316.3/239.3/229.1, RM 65.9/59.9/58.4.
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace mystique;
+    bench::print_header("Table 4: E2e execution time of a single iteration (ms)");
+    std::printf("%-14s %10s %22s %10s %8s\n", "Model", "Original", "Orig (excl. unsupp.)",
+                "Replay", "Error");
+    std::printf("----------------------------------------------------------------\n");
+    for (const std::string w : {"param_linear", "resnet", "asr", "rm"}) {
+        const bench::Pair p =
+            bench::run_pair(w, bench::bench_run_config(), bench::bench_replay_config());
+        const double orig = p.original.mean_iter_us;
+        const double calibrated = orig - p.replay.coverage.unsupported_exposed_us;
+        const double replay = p.replay.mean_iter_us;
+        std::printf("%-14s %9.1f %21.1f %10.1f %7.1f%%\n", bench::pretty_name(w),
+                    orig / 1e3, calibrated / 1e3, replay / 1e3,
+                    100.0 * relative_error(replay, calibrated));
+    }
+    std::printf("\nPaper (ms):    PARAM 14.9/14.9/14.1 (5.4%%), ResNet 64.4/64.4/70.7 (9.8%%),\n"
+                "               ASR 316.3/239.3/229.1 (4.3%%), RM 65.9/59.9/58.4 (2.5%%)\n");
+    bench::print_footnote();
+    return 0;
+}

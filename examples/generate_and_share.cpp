@@ -1,0 +1,58 @@
+/// Scenario: share a production workload with an external hardware vendor
+/// (§8.4).  The model's custom operators are proprietary, so the trace is
+/// obfuscated — annotation names anonymized, IP-sensitive custom subtrees
+/// replaced by performance-equivalent public proxy blocks — and then packaged
+/// as a self-contained benchmark directory the vendor can build and run.
+///
+/// Usage: generate_and_share [workload] [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+#include "core/codegen.h"
+#include "core/obfuscator.h"
+#include "core/replayer.h"
+#include "workloads/harness.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mystique;
+    const std::string workload = argc > 1 ? argv[1] : "rm";
+    const std::string out_dir = argc > 2 ? argv[2] : "shared_benchmark";
+
+    // 1. Trace the production workload.
+    wl::RunConfig run_cfg;
+    run_cfg.mode = fw::ExecMode::kShapeOnly;
+    run_cfg.iterations = 3;
+    const wl::RunResult orig = wl::run_original(workload, {}, run_cfg);
+    const wl::RankResult& r0 = orig.rank0();
+    std::printf("traced %s: %zu nodes, %.2f ms/iter\n", workload.c_str(), r0.trace.size(),
+                orig.mean_iter_us / 1e3);
+
+    // 2. Obfuscate: anonymize annotations, proxy the custom ops.
+    const et::ExecutionTrace obf = core::obfuscate(r0.trace, r0.prof);
+    int proxies = 0;
+    for (const auto& n : obf.nodes())
+        proxies += n.name == "obf::proxy" ? 1 : 0;
+    std::printf("obfuscated: %zu nodes, %d custom subtrees replaced by obf::proxy\n",
+                obf.size(), proxies);
+
+    // 3. Verify the obfuscated trace still reproduces performance.
+    core::ReplayConfig replay_cfg;
+    replay_cfg.iterations = 3;
+    core::Replayer original_replay(r0.trace, &r0.prof, replay_cfg);
+    core::Replayer obfuscated_replay(obf, nullptr, replay_cfg);
+    const double t_orig = original_replay.run().mean_iter_us;
+    const double t_obf = obfuscated_replay.run().mean_iter_us;
+    std::printf("replay: original trace %.2f ms vs obfuscated %.2f ms (%.1f%% apart)\n",
+                t_orig / 1e3, t_obf / 1e3, 100.0 * relative_error(t_obf, t_orig));
+
+    // 4. Package the shareable benchmark.
+    const core::CodegenResult res =
+        core::generate_benchmark(out_dir, obf, r0.prof, replay_cfg);
+    std::printf("benchmark package written to %s/ (%d files)\n", res.directory.c_str(),
+                res.files_written);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/// Quickstart: trace a training workload, generate a benchmark by replaying
+/// its execution trace, and compare the two — the paper's core loop.
+///
+/// Usage: quickstart [workload] [platform]
+///   workload: param_linear (default) | resnet | asr | rm
+///   platform: A100 (default) | V100 | CPU | NewPlatform
+
+#include <cstdio>
+#include <string>
+
+#include "core/replayer.h"
+#include "core/similarity.h"
+#include "workloads/harness.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mystique;
+    const std::string workload = argc > 1 ? argv[1] : "param_linear";
+    const std::string platform = argc > 2 ? argv[2] : "A100";
+
+    // 1. Run the original workload, collecting the execution trace (ET) and
+    //    profiler trace of one iteration (paper §4.1).
+    wl::RunConfig run_cfg;
+    run_cfg.platform = platform;
+    run_cfg.mode = fw::ExecMode::kShapeOnly;
+    run_cfg.iterations = 5;
+    wl::RunResult original = wl::run_original(workload, {}, run_cfg);
+    const wl::RankResult& rank0 = original.rank0();
+
+    std::printf("original  : %8.3f ms/iter   (%zu ET nodes, %zu kernels)\n",
+                original.mean_iter_us / 1e3, rank0.trace.size(),
+                rank0.prof.kernels().size());
+
+    // 2. Replay the trace as a benchmark (§4.6).
+    core::ReplayConfig replay_cfg;
+    replay_cfg.platform = platform;
+    replay_cfg.iterations = 5;
+    core::Replayer replayer(rank0.trace, &rank0.prof, replay_cfg);
+    core::ReplayResult replay = replayer.run();
+
+    std::printf("replay    : %8.3f ms/iter   (coverage: %.1f%% ops, %.1f%% time)\n",
+                replay.mean_iter_us / 1e3, 100.0 * replay.coverage.count_fraction,
+                100.0 * replay.coverage.time_fraction);
+
+    // 3. Measure similarity (Figure 3's feedback loop).
+    core::SimilarityReport sim = core::compare_runs(
+        original.mean_iter_us, rank0.metrics, rank0.prof, replay.mean_iter_us,
+        replay.metrics, replay.prof);
+
+    std::printf("e2e error : %6.2f %%\n", 100.0 * sim.e2e_error);
+    std::printf("SM util   : %6.1f %% vs %6.1f %%\n", rank0.metrics.sm_util_pct,
+                replay.metrics.sm_util_pct);
+    std::printf("HBM bw    : %6.1f GB/s vs %6.1f GB/s\n", rank0.metrics.hbm_gbps,
+                replay.metrics.hbm_gbps);
+    std::printf("GPU power : %6.1f W vs %6.1f W\n", rank0.metrics.power_w,
+                replay.metrics.power_w);
+    return 0;
+}

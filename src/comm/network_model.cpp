@@ -1,0 +1,81 @@
+#include "comm/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mystique::comm {
+
+const char*
+to_string(CollectiveKind k)
+{
+    switch (k) {
+      case CollectiveKind::kAllReduce: return "all_reduce";
+      case CollectiveKind::kAllGather: return "all_gather";
+      case CollectiveKind::kReduceScatter: return "reduce_scatter";
+      case CollectiveKind::kAllToAll: return "all_to_all";
+      case CollectiveKind::kBroadcast: return "broadcast";
+      case CollectiveKind::kSend: return "send";
+      case CollectiveKind::kRecv: return "recv";
+      case CollectiveKind::kBarrier: return "barrier";
+    }
+    return "?";
+}
+
+bool
+NetworkModel::group_spans_nodes(const std::vector<int>& ranks) const
+{
+    if (ranks.empty())
+        return false;
+    const int first_node = ranks.front() / topo_.gpus_per_node;
+    return std::any_of(ranks.begin(), ranks.end(), [&](int r) {
+        return r / topo_.gpus_per_node != first_node;
+    });
+}
+
+double
+NetworkModel::collective_us(CollectiveKind kind, double bytes, int nranks,
+                            bool spans_nodes) const
+{
+    MYST_CHECK_MSG(nranks >= 1, "collective over " << nranks << " ranks");
+    MYST_CHECK_MSG(bytes >= 0.0, "negative payload");
+    const double steps = nranks > 1 ? std::log2(static_cast<double>(nranks)) : 0.0;
+    const double alpha = topo_.base_latency_us + topo_.per_step_latency_us * steps;
+    if (nranks == 1)
+        return topo_.base_latency_us * 0.5;
+
+    const double bw_gbps =
+        spans_nodes ? topo_.inter_node_bw_gbps : topo_.intra_node_bw_gbps;
+    const double bytes_per_us = bw_gbps * 1e3; // GB/s → bytes/us
+    const double n = static_cast<double>(nranks);
+
+    double transfer_us = 0.0;
+    switch (kind) {
+      case CollectiveKind::kAllReduce:
+        // Ring all-reduce: 2(n-1)/n of the payload crosses each link.
+        transfer_us = 2.0 * (n - 1.0) / n * bytes / bytes_per_us;
+        break;
+      case CollectiveKind::kAllGather:
+      case CollectiveKind::kReduceScatter:
+        transfer_us = (n - 1.0) / n * bytes / bytes_per_us;
+        break;
+      case CollectiveKind::kAllToAll:
+        // Every rank sends (n-1)/n of its buffer to peers.
+        transfer_us = (n - 1.0) / n * bytes / bytes_per_us;
+        break;
+      case CollectiveKind::kBroadcast:
+        transfer_us = bytes / bytes_per_us;
+        break;
+      case CollectiveKind::kSend:
+      case CollectiveKind::kRecv:
+        transfer_us = bytes / bytes_per_us;
+        break;
+      case CollectiveKind::kBarrier:
+        transfer_us = 0.0;
+        break;
+    }
+    return alpha + transfer_us;
+}
+
+} // namespace mystique::comm

@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file
+/// Alpha–beta collective cost model over a hierarchical topology.
+///
+/// This stands in for NCCL on the paper's testbed: NVLink within a node
+/// (8 GPUs), a 200 Gbps NIC per GPU across nodes (§6.6).  Costs follow
+/// standard ring/tree formulas; the bottleneck bandwidth is NVLink for
+/// intra-node groups and the NIC for groups that span nodes.
+///
+/// The same model powers the scale-down emulator (§7.3): when replaying an
+/// N-rank trace on M < N ranks, collective durations are *computed for N
+/// ranks* and injected as fixed delays.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mystique::comm {
+
+/// Collective operation families.
+enum class CollectiveKind {
+    kAllReduce,
+    kAllGather,
+    kReduceScatter,
+    kAllToAll,
+    kBroadcast,
+    kSend,
+    kRecv,
+    kBarrier,
+};
+
+const char* to_string(CollectiveKind k);
+
+/// Cluster interconnect description.
+struct Topology {
+    int gpus_per_node = 8;
+    /// Effective NVLink bandwidth per GPU within a node, GB/s.
+    double intra_node_bw_gbps = 240.0;
+    /// Effective NIC bandwidth per GPU across nodes, GB/s (200 Gbps ≈ 25).
+    double inter_node_bw_gbps = 22.0;
+    /// Base software/launch latency per collective, us.
+    double base_latency_us = 12.0;
+    /// Additional latency per log2(world) step, us.
+    double per_step_latency_us = 3.0;
+};
+
+/// Analytic collective cost model.
+class NetworkModel {
+  public:
+    explicit NetworkModel(Topology topo = {}) : topo_(topo) {}
+
+    const Topology& topology() const { return topo_; }
+
+    /// Duration of one collective in microseconds.
+    ///
+    /// @param kind      collective family
+    /// @param bytes     payload per rank (send buffer size)
+    /// @param nranks    number of participating ranks
+    /// @param spans_nodes  true when the group crosses node boundaries;
+    ///                  derive via group_spans_nodes() when rank IDs are known
+    double collective_us(CollectiveKind kind, double bytes, int nranks,
+                         bool spans_nodes) const;
+
+    /// True when the given global ranks do not all share one node.
+    bool group_spans_nodes(const std::vector<int>& ranks) const;
+
+  private:
+    Topology topo_;
+};
+
+} // namespace mystique::comm

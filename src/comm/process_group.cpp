@@ -1,0 +1,143 @@
+#include "comm/process_group.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace mystique::comm {
+
+CommFabric::CommFabric(int world_size, NetworkModel model)
+    : world_size_(world_size), model_(model)
+{
+    MYST_CHECK_MSG(world_size >= 1, "world size must be >= 1");
+    std::vector<int> all(static_cast<std::size_t>(world_size));
+    for (int i = 0; i < world_size; ++i)
+        all[static_cast<std::size_t>(i)] = i;
+    groups_[next_group_id_++] = std::move(all);
+}
+
+int64_t
+CommFabric::new_group(std::vector<int> ranks)
+{
+    MYST_CHECK(!ranks.empty());
+    std::sort(ranks.begin(), ranks.end());
+    for (int r : ranks)
+        MYST_CHECK_MSG(r >= 0 && r < world_size_, "rank " << r << " out of range");
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, existing] : groups_) {
+        if (existing == ranks)
+            return id;
+    }
+    const int64_t id = next_group_id_++;
+    groups_[id] = std::move(ranks);
+    return id;
+}
+
+const std::vector<int>&
+CommFabric::group_ranks(int64_t group_id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = groups_.find(group_id);
+    if (it == groups_.end())
+        MYST_THROW(ConfigError, "unknown process group " << group_id);
+    return it->second;
+}
+
+CollectiveResult
+CommFabric::rendezvous(int64_t group_id, int rank, CollectiveKind kind, double bytes,
+                       sim::TimeUs arrival_us, const std::string& signature,
+                       double fixed_duration_us)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    auto git = groups_.find(group_id);
+    if (git == groups_.end())
+        MYST_THROW(ConfigError, "unknown process group " << group_id);
+    const auto& members = git->second;
+    MYST_CHECK_MSG(std::find(members.begin(), members.end(), rank) != members.end(),
+                   "rank " << rank << " not in group " << group_id);
+    const int group_size = static_cast<int>(members.size());
+
+    const int64_t seq = next_seq_[group_id][rank]++;
+    const auto key = std::make_pair(group_id, seq);
+    Slot& slot = slots_[key];
+
+    if (slot.arrived == 0) {
+        slot.signature = signature;
+    } else if (slot.signature != signature) {
+        slot.mismatch = true;
+    }
+    ++slot.arrived;
+    slot.max_arrival = std::max(slot.max_arrival, arrival_us);
+
+    if (slot.arrived == group_size) {
+        // Last arrival computes the shared result.
+        if (!slot.mismatch) {
+            double duration;
+            if (fixed_duration_us >= 0.0) {
+                duration = fixed_duration_us;
+            } else {
+                const bool spans = model_.group_spans_nodes(members);
+                duration = model_.collective_us(kind, bytes, group_size, spans);
+            }
+            slot.result.end_us = slot.max_arrival + duration;
+            slot.result.start_us = slot.max_arrival;
+            slot.result.duration_us = duration;
+        }
+        slot.complete = true;
+        cv_.notify_all();
+    } else {
+        cv_.wait(lock, [&] { return slot.complete; });
+    }
+
+    const bool mismatch = slot.mismatch;
+    const CollectiveResult result = slot.result;
+    if (++slot.departed == group_size)
+        slots_.erase(key);
+
+    if (mismatch)
+        MYST_THROW(ReplayError,
+                   "collective mismatch in group " << group_id << " at seq " << seq
+                   << ": ranks disagree on the operation (would deadlock; traces must "
+                      "be captured from the same iteration, see paper §4.1)");
+    return result;
+}
+
+ProcessGroup::ProcessGroup(std::shared_ptr<CommFabric> fabric, int64_t group_id, int rank)
+    : fabric_(std::move(fabric)), group_id_(group_id), rank_(rank)
+{
+    MYST_CHECK(fabric_ != nullptr);
+    const auto& ranks = fabric_->group_ranks(group_id_);
+    MYST_CHECK_MSG(std::find(ranks.begin(), ranks.end(), rank_) != ranks.end(),
+                   "rank " << rank_ << " not a member of group " << group_id_);
+}
+
+int
+ProcessGroup::size() const
+{
+    return static_cast<int>(fabric_->group_ranks(group_id_).size());
+}
+
+const std::vector<int>&
+ProcessGroup::ranks() const
+{
+    return fabric_->group_ranks(group_id_);
+}
+
+CollectiveResult
+ProcessGroup::collective(CollectiveKind kind, double bytes, sim::TimeUs arrival_us)
+{
+    const std::string signature =
+        strprintf("%s:%.0f", to_string(kind), bytes);
+    double fixed = -1.0;
+    if (emulated_world_size_ > 0) {
+        // Scale-down emulation: cost as-if the group had the emulated size.
+        // Groups are assumed to scale proportionally (data-parallel replicas).
+        const bool spans =
+            emulated_world_size_ > fabric_->model().topology().gpus_per_node;
+        fixed = fabric_->model().collective_us(kind, bytes, emulated_world_size_, spans);
+    }
+    return fabric_->rendezvous(group_id_, rank_, kind, bytes, arrival_us, signature, fixed);
+}
+
+} // namespace mystique::comm

@@ -1,0 +1,574 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mystique {
+
+bool
+Json::as_bool() const
+{
+    if (!is_bool())
+        MYST_THROW(ParseError, "json: expected bool");
+    return bool_;
+}
+
+int64_t
+Json::as_int() const
+{
+    if (is_int())
+        return int_;
+    if (is_double() && dbl_ == std::floor(dbl_))
+        return static_cast<int64_t>(dbl_);
+    MYST_THROW(ParseError, "json: expected integer");
+}
+
+double
+Json::as_double() const
+{
+    if (is_int())
+        return static_cast<double>(int_);
+    if (is_double())
+        return dbl_;
+    MYST_THROW(ParseError, "json: expected number");
+}
+
+const std::string&
+Json::as_string() const
+{
+    if (!is_string())
+        MYST_THROW(ParseError, "json: expected string");
+    return str_;
+}
+
+const Json::Array&
+Json::as_array() const
+{
+    if (!is_array())
+        MYST_THROW(ParseError, "json: expected array");
+    return arr_;
+}
+
+Json::Array&
+Json::as_array()
+{
+    if (!is_array())
+        MYST_THROW(ParseError, "json: expected array");
+    return arr_;
+}
+
+const Json::Object&
+Json::as_object() const
+{
+    if (!is_object())
+        MYST_THROW(ParseError, "json: expected object");
+    return obj_;
+}
+
+Json::Object&
+Json::as_object()
+{
+    if (!is_object())
+        MYST_THROW(ParseError, "json: expected object");
+    return obj_;
+}
+
+void
+Json::push_back(Json v)
+{
+    as_array().push_back(std::move(v));
+}
+
+const Json*
+Json::find(std::string_view key) const
+{
+    if (!is_object())
+        return nullptr;
+    for (const auto& [k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json&
+Json::at(std::string_view key) const
+{
+    const Json* v = find(key);
+    if (v == nullptr)
+        MYST_THROW(ParseError, "json: missing key '" << key << "'");
+    return *v;
+}
+
+void
+Json::set(std::string_view key, Json v)
+{
+    auto& members = as_object();
+    for (auto& [k, existing] : members) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    members.emplace_back(std::string(key), std::move(v));
+}
+
+int64_t
+Json::get_int(std::string_view key, int64_t fallback) const
+{
+    const Json* v = find(key);
+    return (v != nullptr && v->is_number()) ? v->as_int() : fallback;
+}
+
+double
+Json::get_double(std::string_view key, double fallback) const
+{
+    const Json* v = find(key);
+    return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+std::string
+Json::get_string(std::string_view key, const std::string& fallback) const
+{
+    const Json* v = find(key);
+    return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+bool
+Json::get_bool(std::string_view key, bool fallback) const
+{
+    const Json* v = find(key);
+    return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+namespace {
+
+void
+escape_string(const std::string& s, std::string& out)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+format_double(double d, std::string& out)
+{
+    if (std::isnan(d) || std::isinf(d)) {
+        // JSON has no NaN/Inf; emit null, as browsers' chrome://tracing does.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    // Trim to shortest round-trip-safe form: try progressively fewer digits.
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == d) {
+            out += shorter;
+            return;
+        }
+    }
+    out += buf;
+}
+
+} // namespace
+
+void
+Json::dump_to(std::string& out, int indent, int depth) const
+{
+    const bool pretty = indent >= 0;
+    auto newline = [&](int d) {
+        if (pretty) {
+            out += '\n';
+            out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+        }
+    };
+    switch (type_) {
+      case Type::kNull:
+        out += "null";
+        break;
+      case Type::kBool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::kInt:
+        out += std::to_string(int_);
+        break;
+      case Type::kDouble:
+        format_double(dbl_, out);
+        break;
+      case Type::kString:
+        escape_string(str_, out);
+        break;
+      case Type::kArray: {
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i > 0)
+                out += pretty ? "," : ",";
+            newline(depth + 1);
+            arr_[i].dump_to(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      }
+      case Type::kObject: {
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            newline(depth + 1);
+            escape_string(obj_[i].first, out);
+            out += pretty ? ": " : ":";
+            obj_[i].second.dump_to(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse_document()
+    {
+        skip_ws();
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& msg) const
+    {
+        // Compute 1-based line/column for the error position.
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        MYST_THROW(ParseError, "json at " << line << ":" << col << ": " << msg);
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    char peek() const
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char next()
+    {
+        char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void expect(char c)
+    {
+        if (next() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+
+    bool consume_literal(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    Json parse_value()
+    {
+        switch (peek()) {
+          case '{': return parse_object();
+          case '[': return parse_array();
+          case '"': return Json(parse_string());
+          case 't':
+            if (consume_literal("true"))
+                return Json(true);
+            fail("invalid literal");
+          case 'f':
+            if (consume_literal("false"))
+                return Json(false);
+            fail("invalid literal");
+          case 'n':
+            if (consume_literal("null"))
+                return Json();
+            fail("invalid literal");
+          default: return parse_number();
+        }
+    }
+
+    Json parse_object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            skip_ws();
+            obj.as_object().emplace_back(std::move(key), parse_value());
+            skip_ws();
+            char c = next();
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json parse_array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            skip_ws();
+            arr.as_array().push_back(parse_value());
+            skip_ws();
+            char c = next();
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parse_string()
+    {
+        if (peek() != '"')
+            fail("expected string");
+        ++pos_;
+        std::string out;
+        while (true) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                char esc = next();
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    unsigned code = parse_hex4();
+                    // Surrogate pairs → single code point.
+                    if (code >= 0xD800 && code <= 0xDBFF) {
+                        if (next() != '\\' || next() != 'u')
+                            fail("expected low surrogate");
+                        unsigned lo = parse_hex4();
+                        if (lo < 0xDC00 || lo > 0xDFFF)
+                            fail("invalid low surrogate");
+                        code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                    }
+                    append_utf8(code, out);
+                    break;
+                  }
+                  default: fail("invalid escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    unsigned parse_hex4()
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = next();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v += static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v += static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v += static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return v;
+    }
+
+    static void append_utf8(unsigned code, std::string& out)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    Json parse_number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fail("invalid number");
+        const bool integral =
+            tok.find('.') == std::string_view::npos &&
+            tok.find('e') == std::string_view::npos && tok.find('E') == std::string_view::npos;
+        if (integral) {
+            int64_t iv = 0;
+            auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+            if (ec == std::errc() && ptr == tok.data() + tok.size())
+                return Json(iv);
+            // fall through to double for out-of-range integers
+        }
+        double dv = 0.0;
+        auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), dv);
+        if (ec != std::errc() || ptr != tok.data() + tok.size())
+            fail("invalid number");
+        return Json(dv);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(std::string_view text)
+{
+    return Parser(text).parse_document();
+}
+
+Json
+Json::parse_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        MYST_THROW(ParseError, "cannot open file '" << path << "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+void
+Json::dump_file(const std::string& path, int indent) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        MYST_THROW(MystiqueError, "cannot write file '" + path + "'");
+    out << dump(indent);
+    if (!out)
+        MYST_THROW(MystiqueError, "error writing file '" + path + "'");
+}
+
+bool
+Json::operator==(const Json& other) const
+{
+    if (type_ != other.type_) {
+        // int/double comparisons compare numerically
+        if (is_number() && other.is_number())
+            return as_double() == other.as_double();
+        return false;
+    }
+    switch (type_) {
+      case Type::kNull: return true;
+      case Type::kBool: return bool_ == other.bool_;
+      case Type::kInt: return int_ == other.int_;
+      case Type::kDouble: return dbl_ == other.dbl_;
+      case Type::kString: return str_ == other.str_;
+      case Type::kArray: return arr_ == other.arr_;
+      case Type::kObject: return obj_ == other.obj_;
+    }
+    return false;
+}
+
+} // namespace mystique

@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file
+/// Minimal leveled logger.  Single global sink (stderr by default); level is
+/// settable programmatically or via the MYSTIQUE_LOG_LEVEL environment
+/// variable (trace|debug|info|warn|error|off).
+
+#include <sstream>
+#include <string>
+
+namespace mystique::log {
+
+/// Severity levels, ordered.
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Set the global minimum level.
+void set_level(Level level);
+
+/// Current global minimum level.
+Level level();
+
+/// True when messages at @p lvl would be emitted.
+bool enabled(Level lvl);
+
+/// Emit one message (no trailing newline needed).
+void write(Level lvl, const std::string& msg);
+
+/// Parse a level name; throws ConfigError for unknown names.
+Level parse_level(const std::string& name);
+
+} // namespace mystique::log
+
+#define MYST_LOG(lvl, msg)                                                          \
+    do {                                                                            \
+        if (::mystique::log::enabled(lvl)) {                                        \
+            std::ostringstream myst_log_os_;                                        \
+            myst_log_os_ << msg;                                                    \
+            ::mystique::log::write(lvl, myst_log_os_.str());                        \
+        }                                                                           \
+    } while (0)
+
+#define MYST_TRACE(msg) MYST_LOG(::mystique::log::Level::kTrace, msg)
+#define MYST_DEBUG(msg) MYST_LOG(::mystique::log::Level::kDebug, msg)
+#define MYST_INFO(msg) MYST_LOG(::mystique::log::Level::kInfo, msg)
+#define MYST_WARN(msg) MYST_LOG(::mystique::log::Level::kWarn, msg)
+#define MYST_ERROR(msg) MYST_LOG(::mystique::log::Level::kError, msg)

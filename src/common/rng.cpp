@@ -1,0 +1,165 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mystique {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t& x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto& w : state_)
+        w = splitmix64(s);
+}
+
+uint64_t
+Rng::next_u64()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits → uniform in [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniform_int(int64_t lo, int64_t hi)
+{
+    MYST_CHECK_MSG(lo <= hi, "uniform_int: lo " << lo << " > hi " << hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) // full 64-bit range
+        return static_cast<int64_t>(next_u64());
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t v = next_u64();
+    while (v >= limit)
+        v = next_u64();
+    return lo + static_cast<int64_t>(v % range);
+}
+
+double
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+int64_t
+Rng::zipf(int64_t n, double s)
+{
+    MYST_CHECK(n > 0);
+    if (s <= 0.0)
+        return uniform_int(0, n - 1);
+    if (zipf_n_ != n || zipf_s_ != s) {
+        // Build a Walker alias table (O(n) once, O(1) per sample).
+        const auto un = static_cast<std::size_t>(n);
+        std::vector<double> weights(un);
+        double total = 0.0;
+        for (std::size_t k = 0; k < un; ++k) {
+            weights[k] = 1.0 / std::pow(static_cast<double>(k + 1), s);
+            total += weights[k];
+        }
+        zipf_prob_.assign(un, 0.0);
+        zipf_alias_.assign(un, 0);
+        std::vector<int64_t> small, large;
+        std::vector<double> scaled(un);
+        for (std::size_t k = 0; k < un; ++k) {
+            scaled[k] = weights[k] / total * static_cast<double>(n);
+            (scaled[k] < 1.0 ? small : large).push_back(static_cast<int64_t>(k));
+        }
+        while (!small.empty() && !large.empty()) {
+            const int64_t lo = small.back();
+            small.pop_back();
+            const int64_t hi = large.back();
+            zipf_prob_[static_cast<std::size_t>(lo)] = scaled[static_cast<std::size_t>(lo)];
+            zipf_alias_[static_cast<std::size_t>(lo)] = hi;
+            scaled[static_cast<std::size_t>(hi)] -=
+                1.0 - scaled[static_cast<std::size_t>(lo)];
+            if (scaled[static_cast<std::size_t>(hi)] < 1.0) {
+                large.pop_back();
+                small.push_back(hi);
+            }
+        }
+        for (int64_t k : large)
+            zipf_prob_[static_cast<std::size_t>(k)] = 1.0;
+        for (int64_t k : small)
+            zipf_prob_[static_cast<std::size_t>(k)] = 1.0;
+        zipf_n_ = n;
+        zipf_s_ = s;
+    }
+    const int64_t slot = uniform_int(0, n - 1);
+    return uniform() < zipf_prob_[static_cast<std::size_t>(slot)]
+               ? slot
+               : zipf_alias_[static_cast<std::size_t>(slot)];
+}
+
+void
+Rng::fill_uniform(std::vector<float>& out, float lo, float hi)
+{
+    for (auto& v : out)
+        v = static_cast<float>(uniform(lo, hi));
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next_u64());
+}
+
+} // namespace mystique

@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file
+/// Deterministic random number generation.
+///
+/// All stochastic behaviour in the library (tensor initialization, kernel
+/// duration jitter, workload input generation) flows through Rng so runs are
+/// reproducible from a single seed.  The engine is xoshiro256** seeded via
+/// splitmix64, both public-domain algorithms by Blackman & Vigna.
+
+#include <cstdint>
+#include <vector>
+
+namespace mystique {
+
+/// Deterministic pseudo-random generator with distribution helpers.
+class Rng {
+  public:
+    /// Seeds the stream; equal seeds produce equal sequences.
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Next raw 64-bit value.
+    uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+    int64_t uniform_int(int64_t lo, int64_t hi);
+
+    /// Standard normal via Box–Muller.
+    double normal();
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Zipf-distributed integer in [0, n) with exponent @p s (s=0 → uniform).
+    /// Used for embedding-lookup index generation, where index skew drives
+    /// cache locality (the paper's §4.4 "special case").
+    int64_t zipf(int64_t n, double s);
+
+    /// Fills @p out with iid uniform values in [lo, hi).
+    void fill_uniform(std::vector<float>& out, float lo, float hi);
+
+    /// Derives an independent child stream (for per-rank / per-run use).
+    Rng fork();
+
+  private:
+    uint64_t state_[4];
+    bool have_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+
+    // Zipf sampling uses a cached Walker alias table per (n, s), so drawing
+    // millions of indices is O(1) each after an O(n) build.
+    int64_t zipf_n_ = -1;
+    double zipf_s_ = -1.0;
+    std::vector<double> zipf_prob_;
+    std::vector<int64_t> zipf_alias_;
+};
+
+} // namespace mystique

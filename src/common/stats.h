@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file
+/// Small numerical-summary helpers used by the similarity module, the
+/// benchmark harnesses, and tests.
+
+#include <cstddef>
+#include <vector>
+
+namespace mystique {
+
+/// Streaming summary of a sample: count / mean / variance / extrema.
+class RunningStat {
+  public:
+    /// Adds one observation.
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ > 0 ? mean_ : 0.0; }
+    /// Unbiased sample variance (0 when fewer than two observations).
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ > 0 ? min_ : 0.0; }
+    double max() const { return n_ > 0 ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); @p q in [0,100].
+/// Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double q);
+
+/// |a - b| / |b| with guard for b == 0 (returns |a| then).
+double relative_error(double a, double b);
+
+/// Geometric mean of strictly positive values (returns 0 for empty input).
+double geomean(const std::vector<double>& values);
+
+} // namespace mystique

@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file
+/// Benchmark generation (§5): packages a trace pair into a self-contained,
+/// runnable benchmark directory —
+///
+///   <dir>/execution_trace.json   the ET
+///   <dir>/profiler_trace.json    the stream-mapping profiler trace
+///   <dir>/replay_plan.json       selection + coverage + per-op IR text
+///   <dir>/benchmark_main.cpp     a standalone C++ program against this
+///                                library that replays the trace
+///   <dir>/README.md              how to build and run it
+///
+/// The paper's output is "a single PyTorch program"; ours is the exact
+/// C++ analogue: a single translation unit plus its data files.
+
+#include <string>
+
+#include "core/replayer.h"
+
+namespace mystique::core {
+
+/// Files written by generate_benchmark().
+struct CodegenResult {
+    std::string directory;
+    int files_written = 0;
+};
+
+/// Generates the benchmark package; throws MystiqueError on I/O failure.
+CodegenResult generate_benchmark(const std::string& directory,
+                                 const et::ExecutionTrace& trace,
+                                 const prof::ProfilerTrace& prof, const ReplayConfig& cfg);
+
+/// Serializes a replayer's plan (selection, streams, IR, coverage) to JSON —
+/// loadable for inspection and diffing.
+Json plan_to_json(const Replayer& replayer);
+
+} // namespace mystique::core

@@ -1,0 +1,109 @@
+#include "core/obfuscator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace mystique::core {
+
+namespace {
+
+/// Owner map: node id → nearest ancestor-or-self custom op id (or -1).
+std::unordered_map<int64_t, int64_t>
+custom_owners(const et::ExecutionTrace& trace)
+{
+    std::unordered_map<int64_t, int64_t> owner;
+    std::unordered_map<int64_t, const et::Node*> by_id;
+    for (const auto& n : trace.nodes())
+        by_id[n.id] = &n;
+    for (const auto& n : trace.nodes()) {
+        int64_t own = -1;
+        if (n.parent >= 0) {
+            auto it = owner.find(n.parent);
+            if (it != owner.end())
+                own = it->second;
+        }
+        if (own < 0 && n.is_op() && n.category == dev::OpCategory::kCustom)
+            own = n.id;
+        owner[n.id] = own;
+    }
+    return owner;
+}
+
+} // namespace
+
+et::ExecutionTrace
+obfuscate(const et::ExecutionTrace& trace, const prof::ProfilerTrace& prof,
+          const ObfuscationOptions& opts)
+{
+    const auto owners = custom_owners(trace);
+
+    // Aggregate kernel costs per custom-op root.
+    std::unordered_map<int64_t, double> flops_by_root;
+    std::unordered_map<int64_t, double> bytes_by_root;
+    for (const auto& k : prof.kernels()) {
+        auto it = owners.find(k.correlation);
+        if (it == owners.end() || it->second < 0)
+            continue;
+        flops_by_root[it->second] += k.flops;
+        bytes_by_root[it->second] += k.bytes;
+    }
+
+    et::ExecutionTrace out;
+    out.meta() = trace.meta();
+    out.meta().workload = "obfuscated";
+
+    int64_t annotation_counter = 0;
+    for (const auto& node : trace.nodes()) {
+        const int64_t own = owners.count(node.id) != 0 ? owners.at(node.id) : -1;
+        if (opts.proxy_custom_ops && own >= 0 && own != node.id)
+            continue; // interior of a substituted custom subtree
+
+        et::Node copy = node;
+        if (opts.proxy_custom_ops && own == node.id) {
+            // Substitute with the performance-equivalent proxy (§8.4).
+            std::vector<et::TensorMeta> in_tensors;
+            for (const auto& arg : node.inputs)
+                for (const auto& t : arg.tensors)
+                    in_tensors.push_back(t);
+            std::vector<et::TensorMeta> out_tensors;
+            std::vector<int64_t> out_shapes;
+            for (const auto& arg : node.outputs) {
+                for (const auto& t : arg.tensors) {
+                    out_tensors.push_back(t);
+                    out_shapes.push_back(static_cast<int64_t>(t.shape.size()));
+                    out_shapes.insert(out_shapes.end(), t.shape.begin(), t.shape.end());
+                }
+            }
+            copy = et::Node{};
+            copy.id = node.id;
+            copy.parent = node.parent;
+            copy.tid = node.tid;
+            copy.kind = et::NodeKind::kOperator;
+            copy.category = dev::OpCategory::kCustom;
+            copy.name = "obf::proxy";
+            copy.op_schema = "obf::proxy(Tensor[] inputs, int flops, int bytes, "
+                             "int[] out_shapes) -> Tensor[]";
+            copy.inputs.push_back(et::Argument::from_tensor_list(std::move(in_tensors)));
+            copy.inputs.push_back(et::Argument::from_int(
+                static_cast<int64_t>(flops_by_root.count(node.id) != 0
+                                         ? flops_by_root.at(node.id)
+                                         : 0.0)));
+            copy.inputs.push_back(et::Argument::from_int(
+                static_cast<int64_t>(bytes_by_root.count(node.id) != 0
+                                         ? bytes_by_root.at(node.id)
+                                         : 0.0)));
+            copy.inputs.push_back(et::Argument::from_int_list(std::move(out_shapes)));
+            copy.outputs.push_back(et::Argument::from_tensor_list(std::move(out_tensors)));
+        } else if (opts.anonymize_annotations && node.kind == et::NodeKind::kWrapper) {
+            copy.name = strprintf("annotation_%lld",
+                                  static_cast<long long>(annotation_counter++));
+        }
+        out.add_node(std::move(copy));
+    }
+    return out;
+}
+
+} // namespace mystique::core

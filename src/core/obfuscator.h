@@ -1,0 +1,35 @@
+#pragma once
+
+/// @file
+/// Trace obfuscation for IP protection (§8.4).
+///
+/// Production ETs leak model structure through custom-operator names and
+/// user annotations.  The obfuscator rewrites a trace so it can be shared
+/// with external vendors:
+///   - wrapper/annotation names are anonymized ("annotation_k"),
+///   - each IP-sensitive custom operator subtree is substituted with a
+///     performance-equivalent public proxy block (obf::proxy) carrying the
+///     subtree's measured flop/byte cost and the original output shapes,
+///     preserving both the data-dependency structure and the performance
+///     behaviour while hiding the implementation.
+/// ATen and c10d operators are public API and are kept verbatim.
+
+#include "et/trace.h"
+#include "profiler/profiler.h"
+
+namespace mystique::core {
+
+struct ObfuscationOptions {
+    /// Anonymize wrapper / record_function names.
+    bool anonymize_annotations = true;
+    /// Substitute custom ops with obf::proxy blocks.
+    bool proxy_custom_ops = true;
+};
+
+/// Produces the obfuscated trace; @p prof supplies per-op kernel costs for
+/// the proxies (must be the profiler trace of the same run).
+et::ExecutionTrace obfuscate(const et::ExecutionTrace& trace,
+                             const prof::ProfilerTrace& prof,
+                             const ObfuscationOptions& opts = {});
+
+} // namespace mystique::core

@@ -1,0 +1,155 @@
+#include "core/reconstruction.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "jit/schema.h"
+
+namespace mystique::core {
+
+namespace {
+
+jit::Constant
+argument_to_constant(const et::Argument& arg)
+{
+    jit::Constant c;
+    switch (arg.kind) {
+      case et::Argument::Kind::kNone:
+        c.kind = jit::Constant::Kind::kNone;
+        break;
+      case et::Argument::Kind::kInt:
+        c.kind = jit::Constant::Kind::kInt;
+        c.int_value = arg.int_value;
+        break;
+      case et::Argument::Kind::kDouble:
+        c.kind = jit::Constant::Kind::kFloat;
+        c.float_value = arg.double_value;
+        break;
+      case et::Argument::Kind::kBool:
+        c.kind = jit::Constant::Kind::kBool;
+        c.bool_value = arg.bool_value;
+        break;
+      case et::Argument::Kind::kIntList:
+        c.kind = jit::Constant::Kind::kIntList;
+        c.int_list = arg.int_list;
+        break;
+      case et::Argument::Kind::kString:
+        c.kind = jit::Constant::Kind::kString;
+        c.string_value = arg.string_value;
+        break;
+      case et::Argument::Kind::kTensor:
+      case et::Argument::Kind::kTensorList:
+        c.kind = jit::Constant::Kind::kTensorInput;
+        break;
+    }
+    return c;
+}
+
+fw::IValue
+argument_to_ivalue(const et::Argument& arg, const TensorManager& tm)
+{
+    switch (arg.kind) {
+      case et::Argument::Kind::kNone:
+        return fw::IValue::none();
+      case et::Argument::Kind::kInt:
+        return fw::IValue(arg.int_value);
+      case et::Argument::Kind::kDouble:
+        return fw::IValue(arg.double_value);
+      case et::Argument::Kind::kBool:
+        return fw::IValue(arg.bool_value);
+      case et::Argument::Kind::kIntList:
+        return fw::IValue(arg.int_list);
+      case et::Argument::Kind::kString:
+        return fw::IValue(arg.string_value);
+      case et::Argument::Kind::kTensor:
+        return fw::IValue(tm.resolve(arg.tensors[0]));
+      case et::Argument::Kind::kTensorList: {
+        std::vector<fw::Tensor> ts;
+        ts.reserve(arg.tensors.size());
+        for (const auto& m : arg.tensors)
+            ts.push_back(tm.resolve(m));
+        return fw::IValue(std::move(ts));
+      }
+    }
+    return fw::IValue::none();
+}
+
+} // namespace
+
+ReconstructedOp
+Reconstructor::reconstruct(const et::Node& node, bool supported)
+{
+    ReconstructedOp op;
+    op.node = &node;
+    if (!supported) {
+        op.kind = ReconstructedOp::Kind::kSkipped;
+        return op;
+    }
+    if (node.category == dev::OpCategory::kComm ||
+        node.category == dev::OpCategory::kCustom) {
+        op.kind = ReconstructedOp::Kind::kDirect;
+        return op;
+    }
+
+    // ATen path (§4.3.1): schema → IR text → compiled function.
+    const jit::FunctionSchema schema = jit::parse_schema(node.op_schema);
+    if (schema.args.size() != node.inputs.size())
+        MYST_THROW(ReplayError, "node " << node.id << " ('" << node.name << "'): "
+                                        << node.inputs.size() << " recorded args vs "
+                                        << schema.args.size() << " schema args");
+    std::vector<jit::Constant> constants;
+    constants.reserve(node.inputs.size());
+    for (const auto& arg : node.inputs)
+        constants.push_back(argument_to_constant(arg));
+
+    op.ir_text = jit::build_ir_text(schema, constants);
+    jit::Graph graph = jit::parse_ir(op.ir_text);
+    op.fn = &cu_.create_function(strprintf("%s_n%lld", node.name.c_str(),
+                                           static_cast<long long>(node.id)),
+                                 std::move(graph));
+    op.kind = ReconstructedOp::Kind::kCompiledIr;
+    return op;
+}
+
+bool
+execute_reconstructed(fw::Session& session, const ReconstructedOp& op, TensorManager& tm)
+{
+    if (op.kind == ReconstructedOp::Kind::kSkipped)
+        return false;
+    const et::Node& node = *op.node;
+
+    std::vector<fw::IValue> outputs;
+    if (op.kind == ReconstructedOp::Kind::kCompiledIr) {
+        // Only tensor-like, present arguments feed the compiled function.
+        std::vector<fw::IValue> tensor_inputs;
+        for (const auto& arg : node.inputs) {
+            if (arg.kind == et::Argument::Kind::kTensor ||
+                arg.kind == et::Argument::Kind::kTensorList)
+                tensor_inputs.push_back(argument_to_ivalue(arg, tm));
+        }
+        outputs = op.fn->run(session, tensor_inputs);
+    } else {
+        std::vector<fw::IValue> inputs;
+        inputs.reserve(node.inputs.size());
+        for (const auto& arg : node.inputs)
+            inputs.push_back(argument_to_ivalue(arg, tm));
+        outputs = session.call(node.name, std::move(inputs));
+    }
+
+    // Bind outputs back to their recorded tensor IDs for downstream
+    // consumers (§4.4 intermediate-tensor forwarding).
+    const std::size_t n = std::min(outputs.size(), node.outputs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& rec = node.outputs[i];
+        if (rec.kind == et::Argument::Kind::kTensor && outputs[i].is_tensor()) {
+            tm.bind_output(rec.tensors[0], outputs[i].tensor());
+        } else if (rec.kind == et::Argument::Kind::kTensorList &&
+                   outputs[i].is_tensor_list()) {
+            const auto& ts = outputs[i].tensor_list();
+            for (std::size_t k = 0; k < std::min(ts.size(), rec.tensors.size()); ++k)
+                tm.bind_output(rec.tensors[k], ts[k]);
+        }
+    }
+    return true;
+}
+
+} // namespace mystique::core

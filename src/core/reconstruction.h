@@ -1,0 +1,62 @@
+#pragma once
+
+/// @file
+/// Operator reconstruction (§4.3).
+///
+/// ATen operators are rebuilt from their recorded schema: schema string →
+/// parsed FunctionSchema → generated TorchScript-style IR text (non-tensor
+/// argument *values* baked in as prim::Constant nodes) → parse_ir →
+/// CompilationUnit::create_function → callable.  Communication and custom
+/// operators dispatch directly through the framework registry with their
+/// recorded arguments (process groups are remapped by the replayer).
+/// All reconstruction happens during replay initialization so the hot loop
+/// only invokes prebuilt callables (§4.3.4).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/tensor_manager.h"
+#include "et/node.h"
+#include "jit/ir.h"
+
+namespace mystique::core {
+
+/// One reconstructed replay target.
+struct ReconstructedOp {
+    enum class Kind {
+        kCompiledIr, ///< ATen: execute through the compiled IR function
+        kDirect,     ///< comm/custom: direct registry dispatch
+        kSkipped,    ///< unsupported (fused / unregistered custom)
+    };
+
+    Kind kind = Kind::kSkipped;
+    const et::Node* node = nullptr;
+    const jit::Function* fn = nullptr; ///< valid for kCompiledIr
+    /// Stream the op's kernels ran on originally (from the profiler trace).
+    std::optional<int> stream;
+    /// Generated IR text (kept for codegen and debugging).
+    std::string ir_text;
+};
+
+/// Builds callables for selected nodes; owns the compilation unit.
+class Reconstructor {
+  public:
+    Reconstructor() = default;
+
+    /// Reconstructs one node (@p supported from the selection pass).
+    ReconstructedOp reconstruct(const et::Node& node, bool supported);
+
+    const jit::CompilationUnit& compilation_unit() const { return cu_; }
+
+  private:
+    jit::CompilationUnit cu_;
+};
+
+/// Executes a reconstructed op: resolves tensor arguments through the tensor
+/// manager, invokes the callable, and binds outputs back to their recorded
+/// tensor IDs.  Returns false when the op was skipped.
+bool execute_reconstructed(fw::Session& session, const ReconstructedOp& op,
+                           TensorManager& tm);
+
+} // namespace mystique::core

@@ -1,0 +1,200 @@
+#include "core/replayer.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace mystique::core {
+
+Replayer::Replayer(const et::ExecutionTrace& trace, const prof::ProfilerTrace* original_prof,
+                   ReplayConfig cfg)
+    : trace_(trace), original_prof_(original_prof), cfg_(std::move(cfg))
+{
+    fw::ensure_ops_registered();
+    build_plan();
+}
+
+void
+Replayer::build_plan()
+{
+    selection_ = select_ops(trace_, cfg_.custom_ops, cfg_.filter);
+    coverage_ = coverage(trace_, selection_, original_prof_);
+
+    // Reconstruct every selected op up-front (§4.3.4: initialization phase).
+    ops_.reserve(selection_.ops.size());
+    for (const auto& sel : selection_.ops) {
+        const et::Node* node = trace_.find(sel.node_id);
+        MYST_CHECK(node != nullptr);
+        ReconstructedOp op = reconstructor_.reconstruct(*node, sel.supported);
+
+        // Stream assignment from the profiler trace (§4.5): an op's kernels
+        // correlate with its own node or its descendants'.
+        if (original_prof_ != nullptr && op.kind != ReconstructedOp::Kind::kSkipped) {
+            auto it = selection_.subtree_ids.find(sel.node_id);
+            if (it != selection_.subtree_ids.end()) {
+                for (int64_t sub_id : it->second) {
+                    auto streams = original_prof_->streams_for_node(sub_id);
+                    if (!streams.empty()) {
+                        op.stream = streams.front();
+                        break;
+                    }
+                }
+            }
+        }
+        ops_.push_back(std::move(op));
+    }
+}
+
+void
+Replayer::register_process_groups(fw::Session& session,
+                                  const std::shared_ptr<comm::CommFabric>& fabric)
+{
+    for (const auto& [pg_id, orig_ranks] : trace_.meta().process_groups) {
+        // Map the original group onto the replay world: members beyond the
+        // replay world size exist only in the emulated dimension (§7.3).
+        std::vector<int> ranks;
+        for (int r : orig_ranks) {
+            if (r < fabric->world_size())
+                ranks.push_back(r);
+        }
+        if (ranks.empty() ||
+            std::find(ranks.begin(), ranks.end(), session.rank()) == ranks.end())
+            continue;
+        const int64_t new_gid = fabric->new_group(ranks);
+        auto pg = std::make_shared<comm::ProcessGroup>(fabric, new_gid, session.rank());
+        if (cfg_.emulate_world_size > 0) {
+            pg->set_emulated_world_size(cfg_.emulate_world_size);
+        } else if (cfg_.emulate_world_size == -1) {
+            pg->set_emulated_world_size(static_cast<int>(orig_ranks.size()));
+        }
+        session.add_process_group(pg_id, pg);
+    }
+}
+
+ReplayResult
+Replayer::run()
+{
+    fw::SessionOptions opts;
+    opts.platform = dev::platform(cfg_.platform);
+    opts.mode = cfg_.mode;
+    opts.seed = cfg_.seed;
+    opts.rank = 0;
+    opts.world_size = 1;
+    opts.power_limit_w = cfg_.power_limit_w;
+    opts.dispatch = fw::DispatchProfile::replay();
+    fw::Session session(opts);
+    auto fabric = std::make_shared<comm::CommFabric>(1);
+    return run_with(session, fabric);
+}
+
+ReplayResult
+Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>& fabric)
+{
+    register_process_groups(session, fabric);
+
+    // Replay executes recorded backward ops explicitly; no taping.
+    session.set_grad_enabled(false);
+
+    TensorManager tm(session, cfg_.embedding);
+    std::vector<const et::Node*> selected_nodes;
+    selected_nodes.reserve(ops_.size());
+    for (const auto& op : ops_) {
+        if (op.kind != ReconstructedOp::Kind::kSkipped)
+            selected_nodes.push_back(op.node);
+    }
+    tm.analyze(selected_nodes);
+    tm.instantiate_externals();
+
+    prof::ProfilerSession profiler;
+    session.attach_profiler(&profiler);
+
+    ReplayResult result;
+    result.coverage = coverage_;
+
+    const int total_iters = cfg_.warmup_iterations + cfg_.iterations;
+    sim::TimeUs timed_start = 0.0;
+    for (int iter = 0; iter < total_iters; ++iter) {
+        // Profile exactly one iteration, mirroring the original-run harness
+        // (so similarity compares like for like).
+        const bool profiled = cfg_.collect_profiler && iter == cfg_.warmup_iterations;
+        if (profiled)
+            profiler.start();
+        const sim::TimeUs iter_start = session.sync_device();
+        if (iter == cfg_.warmup_iterations)
+            timed_start = iter_start;
+
+        for (const auto& op : ops_) {
+            if (op.kind == ReconstructedOp::Kind::kSkipped)
+                continue;
+            session.switch_thread(op.node->tid);
+            session.set_stream_override(op.stream);
+            execute_reconstructed(session, op, tm);
+            session.set_stream_override(std::nullopt);
+        }
+        session.switch_thread(fw::kMainThread);
+        const sim::TimeUs iter_end = session.sync_device();
+        if (iter >= cfg_.warmup_iterations)
+            result.iter_us.push_back(iter_end - iter_start);
+        if (profiled)
+            profiler.stop();
+    }
+
+    RunningStat stat;
+    for (double t : result.iter_us)
+        stat.add(t);
+    result.mean_iter_us = stat.mean();
+    result.metrics = session.device().metrics(timed_start, session.cpu_now());
+    result.prof = profiler.take_trace();
+    return result;
+}
+
+std::vector<ReplayResult>
+Replayer::run_distributed(const std::vector<const et::ExecutionTrace*>& traces,
+                          const std::vector<const prof::ProfilerTrace*>& profs,
+                          ReplayConfig cfg, comm::Topology topo)
+{
+    MYST_CHECK(!traces.empty());
+    MYST_CHECK(profs.size() == traces.size());
+    const int world = static_cast<int>(traces.size());
+    auto fabric = std::make_shared<comm::CommFabric>(world, comm::NetworkModel(topo));
+
+    std::vector<ReplayResult> results(static_cast<std::size_t>(world));
+    std::vector<std::string> errors(static_cast<std::size_t>(world));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(world));
+    for (int rank = 0; rank < world; ++rank) {
+        threads.emplace_back([&, rank] {
+            try {
+                fw::SessionOptions opts;
+                opts.platform = dev::platform(cfg.platform);
+                opts.mode = cfg.mode;
+                opts.seed = cfg.seed;
+                opts.rank = rank;
+                opts.world_size = world;
+                opts.power_limit_w = cfg.power_limit_w;
+                opts.dispatch = fw::DispatchProfile::replay();
+                fw::Session session(opts);
+                Replayer replayer(*traces[static_cast<std::size_t>(rank)],
+                                  profs[static_cast<std::size_t>(rank)], cfg);
+                results[static_cast<std::size_t>(rank)] =
+                    replayer.run_with(session, fabric);
+            } catch (const std::exception& e) {
+                errors[static_cast<std::size_t>(rank)] = e.what();
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    for (int rank = 0; rank < world; ++rank) {
+        if (!errors[static_cast<std::size_t>(rank)].empty())
+            MYST_THROW(ReplayError,
+                       "rank " << rank << " replay failed: "
+                               << errors[static_cast<std::size_t>(rank)]);
+    }
+    return results;
+}
+
+} // namespace mystique::core

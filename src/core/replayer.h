@@ -1,0 +1,104 @@
+#pragma once
+
+/// @file
+/// The ET replayer (§4.6): selection → reconstruction → tensor management →
+/// stream assignment → timed execution, plus the use-case knobs of §7
+/// (subtrace replay, operator-type filtering, scaled-down emulation).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "core/reconstruction.h"
+#include "core/selection.h"
+#include "core/tensor_manager.h"
+#include "device/device.h"
+#include "et/trace.h"
+#include "profiler/profiler.h"
+
+namespace mystique::core {
+
+/// Replay configuration.
+struct ReplayConfig {
+    std::string platform = "A100";
+    fw::ExecMode mode = fw::ExecMode::kShapeOnly;
+    int warmup_iterations = 1;
+    int iterations = 5;
+    uint64_t seed = 0xB53C;
+    std::optional<double> power_limit_w;
+
+    /// Subtrace / operator-type filters (§7.1).
+    SelectionFilter filter;
+
+    /// Embedding index generation (§4.4's refinement interface).
+    EmbeddingGenConfig embedding;
+
+    /// Replayable custom ops (§4.3.3).
+    CustomOpRegistry custom_ops = CustomOpRegistry::with_defaults();
+
+    /// Scaled-down emulation (§7.3): 0 = off (rendezvous at actual size);
+    /// -1 = emulate the *original* group sizes from the trace metadata;
+    /// >0 = emulate this world size.
+    int emulate_world_size = 0;
+
+    /// Collect a profiler trace of the replay run (needed for similarity).
+    bool collect_profiler = true;
+};
+
+/// Outcome of one (per-rank) replay.
+struct ReplayResult {
+    std::vector<double> iter_us;
+    double mean_iter_us = 0.0;
+    dev::DeviceMetrics metrics;
+    prof::ProfilerTrace prof;
+    CoverageStats coverage;
+};
+
+/// Replays one execution trace as a benchmark.
+class Replayer {
+  public:
+    /// @param trace  the ET to replay (kept by reference; must outlive this)
+    /// @param original_prof  profiler trace of the original run — used for
+    ///        op→stream mapping (§4.5) and time-coverage; may be null
+    Replayer(const et::ExecutionTrace& trace, const prof::ProfilerTrace* original_prof,
+             ReplayConfig cfg);
+
+    /// Runs a single-rank replay with a private session/fabric.
+    ReplayResult run();
+
+    /// Runs with an externally-provided session and fabric (distributed
+    /// ranks share a fabric; each rank owns a Replayer on its thread).
+    ReplayResult run_with(fw::Session& session,
+                          const std::shared_ptr<comm::CommFabric>& fabric);
+
+    const Selection& selection() const { return selection_; }
+    const CoverageStats& coverage_stats() const { return coverage_; }
+    /// Generated IR text per replayed ATen node (for codegen/inspection).
+    const std::vector<ReconstructedOp>& reconstructed() const { return ops_; }
+
+    /// Replays N traces on N rank threads sharing one fabric.  Trace count
+    /// may be smaller than the original world size when combined with
+    /// emulate_world_size (scale-down, §7.3).
+    static std::vector<ReplayResult>
+    run_distributed(const std::vector<const et::ExecutionTrace*>& traces,
+                    const std::vector<const prof::ProfilerTrace*>& profs, ReplayConfig cfg,
+                    comm::Topology topo = {});
+
+  private:
+    void build_plan();
+    void register_process_groups(fw::Session& session,
+                                 const std::shared_ptr<comm::CommFabric>& fabric);
+
+    const et::ExecutionTrace& trace_;
+    const prof::ProfilerTrace* original_prof_;
+    ReplayConfig cfg_;
+
+    Selection selection_;
+    CoverageStats coverage_;
+    Reconstructor reconstructor_;
+    std::vector<ReconstructedOp> ops_;
+};
+
+} // namespace mystique::core

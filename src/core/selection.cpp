@@ -1,0 +1,146 @@
+#include "core/selection.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace mystique::core {
+
+int64_t
+Selection::total_supported() const
+{
+    int64_t n = 0;
+    for (const auto& op : ops)
+        n += op.supported ? 1 : 0;
+    return n;
+}
+
+Selection
+select_ops(const et::ExecutionTrace& trace, const CustomOpRegistry& custom,
+           const SelectionFilter& filter)
+{
+    Selection out;
+    std::unordered_map<int64_t, const et::Node*> by_id;
+    for (const auto& n : trace.nodes())
+        by_id[n.id] = &n;
+
+    // Subtrace root: selection is confined to the wrapper's subtree.
+    int64_t subtrace_root_id = -1;
+    if (filter.subtrace_root.has_value()) {
+        const et::Node* root = trace.find_by_name(*filter.subtrace_root);
+        if (root == nullptr)
+            MYST_THROW(ReplayError,
+                       "subtrace root '" << *filter.subtrace_root << "' not found in trace");
+        subtrace_root_id = root->id;
+    }
+
+    std::unordered_set<int64_t> selected_ids;
+    auto has_selected_ancestor = [&](const et::Node& node) {
+        int64_t p = node.parent;
+        while (p >= 0) {
+            if (selected_ids.count(p) != 0)
+                return true;
+            auto it = by_id.find(p);
+            if (it == by_id.end())
+                break;
+            p = it->second->parent;
+        }
+        return false;
+    };
+    auto under_subtrace_root = [&](const et::Node& node) {
+        if (subtrace_root_id < 0)
+            return true;
+        int64_t p = node.parent;
+        while (p >= 0) {
+            if (p == subtrace_root_id)
+                return true;
+            auto it = by_id.find(p);
+            if (it == by_id.end())
+                break;
+            p = it->second->parent;
+        }
+        return false;
+    };
+
+    for (const auto& node : trace.nodes()) {
+        if (!node.is_op())
+            continue; // wrappers are transparent
+        if (!under_subtrace_root(node))
+            continue;
+        if (has_selected_ancestor(node))
+            continue; // redundant child of a replay target (§4.2)
+        if (filter.only_category.has_value() && node.category != *filter.only_category)
+            continue;
+        selected_ids.insert(node.id);
+        out.ops.push_back({node.id, is_replayable(node, custom)});
+    }
+
+    // Subtree membership for each selected root (selected node included).
+    std::unordered_map<int64_t, int64_t> owner; // node id → selected root
+    for (const auto& node : trace.nodes()) {
+        if (selected_ids.count(node.id) != 0) {
+            owner[node.id] = node.id;
+        } else if (node.parent >= 0) {
+            auto it = owner.find(node.parent);
+            if (it != owner.end())
+                owner[node.id] = it->second;
+        }
+    }
+    for (const auto& [node_id, root_id] : owner)
+        out.subtree_ids[root_id].push_back(node_id);
+    for (auto& [root_id, ids] : out.subtree_ids)
+        std::sort(ids.begin(), ids.end());
+    return out;
+}
+
+CoverageStats
+coverage(const et::ExecutionTrace& trace, const Selection& sel,
+         const prof::ProfilerTrace* prof)
+{
+    CoverageStats stats;
+    stats.selected_ops = sel.total_selected();
+    stats.supported_ops = sel.total_supported();
+    stats.count_fraction =
+        stats.selected_ops > 0
+            ? static_cast<double>(stats.supported_ops) / static_cast<double>(stats.selected_ops)
+            : 1.0;
+
+    std::unordered_set<int64_t> unsupported_subtree;
+    for (const auto& op : sel.ops) {
+        if (op.supported)
+            continue;
+        const et::Node* node = trace.find(op.node_id);
+        MYST_CHECK(node != nullptr);
+        ++stats.unsupported_by_name[node->name];
+        auto it = sel.subtree_ids.find(op.node_id);
+        if (it != sel.subtree_ids.end())
+            unsupported_subtree.insert(it->second.begin(), it->second.end());
+    }
+
+    if (prof == nullptr) {
+        stats.time_fraction = stats.count_fraction;
+        return stats;
+    }
+
+    double total_kernel_us = 0.0;
+    double unsupported_us = 0.0;
+    std::vector<sim::Interval> unsupported_ivs;
+    std::vector<sim::Interval> supported_ivs;
+    for (const auto& k : prof->kernels()) {
+        total_kernel_us += k.dur;
+        if (unsupported_subtree.count(k.correlation) != 0) {
+            unsupported_us += k.dur;
+            unsupported_ivs.push_back({k.ts, k.ts + k.dur});
+        } else {
+            supported_ivs.push_back({k.ts, k.ts + k.dur});
+        }
+    }
+    stats.unsupported_kernel_us = unsupported_us;
+    stats.unsupported_exposed_us = sim::total_exposed_time(unsupported_ivs, supported_ivs);
+    stats.time_fraction =
+        total_kernel_us > 0.0 ? 1.0 - unsupported_us / total_kernel_us : 1.0;
+    return stats;
+}
+
+} // namespace mystique::core

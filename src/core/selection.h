@@ -1,0 +1,75 @@
+#pragma once
+
+/// @file
+/// Operator selection (§4.2) and coverage accounting (§6.3).
+///
+/// Traversing nodes in execution order: the first *operator* node on any
+/// root-to-leaf path is the replay target; its children are redundant
+/// (aten::linear subsumes aten::t / aten::addmm).  Wrapper nodes — profiler
+/// annotations and autograd frames — are transparent: selection descends
+/// through them and replays their underlying operators (Figure 4's "Replay
+/// targets").
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/supported_ops.h"
+#include "et/trace.h"
+#include "profiler/profiler.h"
+
+namespace mystique::core {
+
+/// Selection filters (use cases of §7).
+struct SelectionFilter {
+    /// Replay only the subtree under the wrapper with this name (§7.1),
+    /// e.g. "## forward:z ##".
+    std::optional<std::string> subtrace_root;
+    /// Replay only operators of this category (§7.1, e.g. comms-only).
+    std::optional<dev::OpCategory> only_category;
+};
+
+/// One selected replay target.
+struct SelectedOp {
+    int64_t node_id = -1;
+    bool supported = false;
+};
+
+/// Selection outcome plus coverage bookkeeping.
+struct Selection {
+    std::vector<SelectedOp> ops;
+    /// IDs of every node in a selected-op subtree, keyed by the selected root
+    /// (used for stream assignment and time attribution).
+    std::map<int64_t, std::vector<int64_t>> subtree_ids;
+
+    int64_t total_selected() const { return static_cast<int64_t>(ops.size()); }
+    int64_t total_supported() const;
+};
+
+/// Runs selection over a trace.
+Selection select_ops(const et::ExecutionTrace& trace, const CustomOpRegistry& custom,
+                     const SelectionFilter& filter = {});
+
+/// Coverage report (Table 3 row).
+struct CoverageStats {
+    int64_t selected_ops = 0;
+    int64_t supported_ops = 0;
+    double count_fraction = 1.0; ///< supported / selected
+    double time_fraction = 1.0;  ///< supported kernel time / total kernel time
+    /// Unsupported op occurrence counts by name.
+    std::map<std::string, int64_t> unsupported_by_name;
+    /// Total device time of unsupported ops' kernels (us).
+    double unsupported_kernel_us = 0.0;
+    /// Exposed (non-overlapped) device time of unsupported ops' kernels (us);
+    /// subtract from the original e2e for Table 4's calibrated baseline.
+    double unsupported_exposed_us = 0.0;
+};
+
+/// Computes coverage for a selection; @p prof may be null (then time-based
+/// fields fall back to count-based values).
+CoverageStats coverage(const et::ExecutionTrace& trace, const Selection& sel,
+                       const prof::ProfilerTrace* prof);
+
+} // namespace mystique::core

@@ -1,0 +1,130 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/stats.h"
+
+namespace mystique::core {
+
+namespace {
+
+/// Duration-weighted aggregate of one run's kernels by name.
+struct KernelAgg {
+    double total_us = 0.0;
+    double ipc = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double sm = 0.0;
+
+    void add(const prof::KernelEvent& k)
+    {
+        total_us += k.dur;
+        ipc += k.micro.ipc * k.dur;
+        l1 += k.micro.l1_hit_rate * k.dur;
+        l2 += k.micro.l2_hit_rate * k.dur;
+        sm += k.micro.sm_throughput * k.dur;
+    }
+
+    double mean_ipc() const { return total_us > 0 ? ipc / total_us : 0.0; }
+    double mean_l1() const { return total_us > 0 ? l1 / total_us : 0.0; }
+    double mean_l2() const { return total_us > 0 ? l2 / total_us : 0.0; }
+    double mean_sm() const { return total_us > 0 ? sm / total_us : 0.0; }
+};
+
+std::map<std::string, KernelAgg>
+aggregate(const prof::ProfilerTrace& trace)
+{
+    std::map<std::string, KernelAgg> out;
+    for (const auto& k : trace.kernels())
+        out[k.name].add(k);
+    return out;
+}
+
+double
+safe_ratio(double a, double b)
+{
+    return b > 0.0 ? a / b : 1.0;
+}
+
+} // namespace
+
+SimilarityReport
+compare_runs(double original_e2e_us, const dev::DeviceMetrics& original,
+             const prof::ProfilerTrace& original_prof, double replay_e2e_us,
+             const dev::DeviceMetrics& replay, const prof::ProfilerTrace& replay_prof,
+             std::size_t top_k)
+{
+    SimilarityReport rep;
+    rep.original_e2e_us = original_e2e_us;
+    rep.replay_e2e_us = replay_e2e_us;
+    rep.e2e_error = relative_error(replay_e2e_us, original_e2e_us);
+    rep.sm_util_error = relative_error(replay.sm_util_pct, original.sm_util_pct);
+    rep.hbm_bw_error = relative_error(replay.hbm_gbps, original.hbm_gbps);
+    rep.power_error = relative_error(replay.power_w, original.power_w);
+
+    const auto orig = aggregate(original_prof);
+    const auto repl = aggregate(replay_prof);
+    double total_orig_us = 0.0;
+    for (const auto& [name, agg] : orig)
+        total_orig_us += agg.total_us;
+
+    // Top-K original kernels by device time.
+    std::vector<std::pair<std::string, double>> by_time;
+    by_time.reserve(orig.size());
+    for (const auto& [name, agg] : orig)
+        by_time.emplace_back(name, agg.total_us);
+    std::sort(by_time.begin(), by_time.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+
+    KernelAgg overall_orig, overall_repl;
+    for (const auto& [name, oagg] : orig) {
+        auto it = repl.find(name);
+        if (it == repl.end())
+            continue;
+        overall_orig.total_us += oagg.total_us;
+        overall_orig.ipc += oagg.ipc;
+        overall_orig.l1 += oagg.l1;
+        overall_orig.l2 += oagg.l2;
+        overall_orig.sm += oagg.sm;
+        overall_repl.total_us += it->second.total_us;
+        overall_repl.ipc += it->second.ipc;
+        overall_repl.l1 += it->second.l1;
+        overall_repl.l2 += it->second.l2;
+        overall_repl.sm += it->second.sm;
+    }
+    rep.overall.name = "overall";
+    rep.overall.time_share = safe_ratio(overall_orig.total_us, total_orig_us);
+    rep.overall.duration_ratio = safe_ratio(overall_repl.total_us, overall_orig.total_us);
+    rep.overall.ipc_ratio = safe_ratio(overall_repl.mean_ipc(), overall_orig.mean_ipc());
+    rep.overall.l1_ratio = safe_ratio(overall_repl.mean_l1(), overall_orig.mean_l1());
+    rep.overall.l2_ratio = safe_ratio(overall_repl.mean_l2(), overall_orig.mean_l2());
+    rep.overall.sm_throughput_ratio =
+        safe_ratio(overall_repl.mean_sm(), overall_orig.mean_sm());
+
+    for (const auto& [name, dur] : by_time) {
+        if (rep.top_kernels.size() >= top_k)
+            break;
+        auto it = repl.find(name);
+        if (it == repl.end())
+            continue;
+        const KernelAgg& o = orig.at(name);
+        const KernelAgg& r = it->second;
+        KernelSimilarity sim;
+        sim.name = name;
+        sim.time_share = safe_ratio(dur, total_orig_us);
+        sim.duration_ratio = safe_ratio(r.total_us, o.total_us);
+        sim.ipc_ratio = safe_ratio(r.mean_ipc(), o.mean_ipc());
+        sim.l1_ratio = safe_ratio(r.mean_l1(), o.mean_l1());
+        sim.l2_ratio = safe_ratio(r.mean_l2(), o.mean_l2());
+        sim.sm_throughput_ratio = safe_ratio(r.mean_sm(), o.mean_sm());
+        rep.top_k_time_share += sim.time_share;
+        rep.top_kernels.push_back(std::move(sim));
+    }
+    return rep;
+}
+
+} // namespace mystique::core

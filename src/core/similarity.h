@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file
+/// Similarity measurement — the validation/feedback loop of Figure 3.
+///
+/// Quantifies how closely a replay matches the original run: end-to-end
+/// time, macro system metrics (Figure 5), and per-kernel microarchitectural
+/// metrics matched by kernel name (Figure 6).
+
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "profiler/profiler.h"
+
+namespace mystique::core {
+
+/// Replay/original ratios for one kernel name (Figure 6 bars).
+struct KernelSimilarity {
+    std::string name;
+    double time_share = 0.0; ///< share of the original run's device time
+    double duration_ratio = 1.0;
+    double ipc_ratio = 1.0;
+    double l1_ratio = 1.0;
+    double l2_ratio = 1.0;
+    double sm_throughput_ratio = 1.0;
+};
+
+/// Full comparison of a replay run against its original.
+struct SimilarityReport {
+    double original_e2e_us = 0.0;
+    double replay_e2e_us = 0.0;
+    double e2e_error = 0.0; ///< |replay − original| / original
+
+    double sm_util_error = 0.0;
+    double hbm_bw_error = 0.0;
+    double power_error = 0.0;
+
+    /// Top-K original kernels by device time, with replay ratios.
+    std::vector<KernelSimilarity> top_kernels;
+    /// Duration-weighted overall ratios across all matched kernels.
+    KernelSimilarity overall;
+    /// Fraction of original device time covered by the top-K list.
+    double top_k_time_share = 0.0;
+};
+
+/// Builds the report.  Kernels are matched by name (names are deterministic
+/// functions of op family and shapes); unmatched kernels are excluded from
+/// micro ratios but reported in time shares.
+SimilarityReport compare_runs(double original_e2e_us, const dev::DeviceMetrics& original,
+                              const prof::ProfilerTrace& original_prof,
+                              double replay_e2e_us, const dev::DeviceMetrics& replay,
+                              const prof::ProfilerTrace& replay_prof, std::size_t top_k = 10);
+
+} // namespace mystique::core

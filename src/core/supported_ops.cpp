@@ -1,0 +1,82 @@
+#include "core/supported_ops.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "framework/op_registry.h"
+
+namespace mystique::core {
+
+CustomOpRegistry
+CustomOpRegistry::with_defaults()
+{
+    CustomOpRegistry reg;
+    // FBGEMM is one of the "few common libraries" supported out of the box
+    // (§5); torchrec and model-specific libs (fairseq) are not.
+    reg.register_namespace("fbgemm::");
+    // The obfuscator's performance-equivalent public proxy blocks (§8.4).
+    reg.register_namespace("obf::");
+    return reg;
+}
+
+CustomOpRegistry
+CustomOpRegistry::empty()
+{
+    return {};
+}
+
+void
+CustomOpRegistry::register_op(const std::string& name)
+{
+    if (!is_registered(name))
+        names_.push_back(name);
+}
+
+void
+CustomOpRegistry::register_namespace(const std::string& ns_prefix)
+{
+    if (std::find(namespaces_.begin(), namespaces_.end(), ns_prefix) == namespaces_.end())
+        namespaces_.push_back(ns_prefix);
+}
+
+bool
+CustomOpRegistry::is_registered(const std::string& op_name) const
+{
+    if (std::find(names_.begin(), names_.end(), op_name) != names_.end())
+        return true;
+    return std::any_of(namespaces_.begin(), namespaces_.end(),
+                       [&](const std::string& ns) { return starts_with(op_name, ns); });
+}
+
+std::vector<std::string>
+CustomOpRegistry::registered() const
+{
+    std::vector<std::string> out = names_;
+    out.insert(out.end(), namespaces_.begin(), namespaces_.end());
+    return out;
+}
+
+bool
+is_replayable(const et::Node& node, const CustomOpRegistry& custom)
+{
+    if (!node.is_op())
+        return false;
+    switch (node.category) {
+      case dev::OpCategory::kFused:
+        // No reconstruction metadata in the ET (§4.3.4).
+        return false;
+      case dev::OpCategory::kATen:
+      case dev::OpCategory::kComm:
+        // Requires a schema and an executable implementation.
+        return !node.op_schema.empty() &&
+               fw::OpRegistry::instance().contains(node.name);
+      case dev::OpCategory::kCustom:
+        return !node.op_schema.empty() && custom.is_registered(node.name) &&
+               fw::OpRegistry::instance().contains(node.name);
+      case dev::OpCategory::kOther:
+        return false;
+    }
+    return false;
+}
+
+} // namespace mystique::core

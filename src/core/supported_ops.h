@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file
+/// The replayer's supported-operator set (§5, Table 3).
+///
+/// The *framework* can execute every registered op (production code links the
+/// custom libraries); the *replayer* can only reconstruct:
+///   - all ATen ops (the compute backend — 100% supported),
+///   - all c10d communication ops,
+///   - custom ops from "a few common libraries like FBGEMM" (supported by
+///     default), plus any the user registers through the custom-op interface
+///     (§4.3.3).
+/// Fused ops carry no schema in the ET and are always skipped (§4.3.4).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "et/node.h"
+
+namespace mystique::core {
+
+/// The user-facing custom-operator registration interface.
+///
+/// Registering an op name tells the replayer that the op's implementation is
+/// available at replay time (our analogue of "register their custom operators
+/// together with their implementations" — implementations live in the
+/// framework registry; this registry is the replayability gate).
+class CustomOpRegistry {
+  public:
+    /// Registry preloaded with the common libraries (fbgemm::*).
+    static CustomOpRegistry with_defaults();
+
+    /// Empty registry (used to model bare new platforms, §7.2).
+    static CustomOpRegistry empty();
+
+    /// Registers one custom op name (e.g. "fairseq::lstm_layer").
+    void register_op(const std::string& name);
+
+    /// Registers every op sharing a namespace prefix (e.g. "fairseq::").
+    void register_namespace(const std::string& ns_prefix);
+
+    bool is_registered(const std::string& op_name) const;
+
+    std::vector<std::string> registered() const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::string> namespaces_;
+};
+
+/// Decides whether a trace node can be replayed under a given registry.
+/// Wrapper nodes are never replayable (they carry no work).
+bool is_replayable(const et::Node& node, const CustomOpRegistry& custom);
+
+} // namespace mystique::core

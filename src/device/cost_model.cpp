@@ -1,0 +1,159 @@
+#include "device/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mystique::dev {
+
+namespace {
+
+double
+clamp01(double x)
+{
+    return std::clamp(x, 0.0, 1.0);
+}
+
+} // namespace
+
+double
+compute_efficiency(KernelKind kind)
+{
+    // Fractions of datasheet FLOP rate that tuned kernels typically achieve.
+    switch (kind) {
+      case KernelKind::kGemm: return 0.78;
+      case KernelKind::kConv: return 0.62;
+      case KernelKind::kLstm: return 0.45;
+      case KernelKind::kFusedPointwise: return 0.55;
+      case KernelKind::kPointwise: return 0.40;
+      case KernelKind::kNorm: return 0.35;
+      case KernelKind::kSoftmax: return 0.35;
+      case KernelKind::kReduction: return 0.38;
+      case KernelKind::kPool: return 0.35;
+      case KernelKind::kLoss: return 0.30;
+      case KernelKind::kEmbedding: return 0.25;
+      case KernelKind::kOptimizer: return 0.40;
+      case KernelKind::kMemcpy: return 0.50;
+      case KernelKind::kComm: return 0.50;
+      case KernelKind::kOther: return 0.35;
+    }
+    return 0.35;
+}
+
+double
+memory_efficiency(KernelKind kind, double locality)
+{
+    // Streaming kernels run near peak bandwidth; scattered access patterns
+    // (embedding gathers) are penalized unless locality is high.
+    double base;
+    switch (kind) {
+      case KernelKind::kPointwise:
+      case KernelKind::kFusedPointwise:
+      case KernelKind::kMemcpy:
+        base = 0.88;
+        break;
+      case KernelKind::kGemm:
+      case KernelKind::kConv:
+        base = 0.80;
+        break;
+      case KernelKind::kNorm:
+      case KernelKind::kReduction:
+      case KernelKind::kSoftmax:
+      case KernelKind::kPool:
+      case KernelKind::kLoss:
+      case KernelKind::kOptimizer:
+        base = 0.75;
+        break;
+      case KernelKind::kEmbedding:
+        // Gather-dominated: effective bandwidth rises with index locality
+        // (cache-resident rows served without DRAM traffic).
+        base = 0.30 + 0.55 * clamp01(locality);
+        break;
+      case KernelKind::kLstm:
+        base = 0.70;
+        break;
+      case KernelKind::kComm:
+        base = 0.85;
+        break;
+      case KernelKind::kOther:
+        base = 0.70;
+        break;
+    }
+    return clamp01(base);
+}
+
+KernelTime
+kernel_time(const KernelDesc& desc, const PlatformSpec& spec)
+{
+    MYST_CHECK_MSG(desc.flops >= 0.0 && desc.bytes >= 0.0,
+                   "negative work in kernel '" << desc.name << "'");
+    KernelTime t;
+    const double eff_c = compute_efficiency(desc.kind);
+    const double eff_m = memory_efficiency(desc.kind, desc.locality);
+    // GFLOP/s = flops/us * 1e-3  →  us = flops / (GFLOPs * 1e3)
+    t.compute_us = desc.flops / (spec.peak_gflops * eff_c * 1e3);
+    // GB/s = bytes/us * 1e-3    →  us = bytes / (GB/s * 1e3)
+    t.memory_us = desc.bytes / (spec.mem_bw_gbps * eff_m * 1e3);
+    t.launch_us = spec.kernel_launch_us;
+
+    // Small kernels cannot fill the machine: penalize when parallelism is
+    // below one wave of work per SM.
+    const double wave = static_cast<double>(spec.num_sms) * 256.0;
+    if (desc.parallelism < wave && desc.parallelism > 0.0) {
+        const double under = wave / desc.parallelism;
+        const double factor = std::min(8.0, std::pow(under, 0.5));
+        t.compute_us *= factor;
+        t.memory_us *= std::min(4.0, factor);
+    }
+    return t;
+}
+
+MicroMetrics
+micro_metrics(const KernelDesc& desc, const PlatformSpec& spec)
+{
+    MicroMetrics m;
+    const KernelTime t = kernel_time(desc, spec);
+    const double busy = std::max(1e-9, t.compute_us + t.memory_us);
+    // Compute-boundedness in [0,1]: GEMMs near 1, gathers near 0.
+    const double r = t.compute_us / busy;
+
+    // L1: working set per SM vs capacity, blended with access locality.
+    const double l1_bytes = spec.l1_kb_per_sm * 1024.0 * spec.num_sms;
+    const double ws = std::max(1.0, desc.working_set_bytes);
+    const double l1_fit = l1_bytes / (l1_bytes + ws);
+    m.l1_hit_rate = clamp01(0.50 * desc.locality + 0.42 * l1_fit + 0.08);
+
+    // L2: shared capacity; misses past L1 hit L2 according to footprint fit.
+    const double l2_bytes = spec.l2_mb * 1024.0 * 1024.0;
+    const double l2_fit = l2_bytes / (l2_bytes + ws);
+    m.l2_hit_rate = clamp01(0.35 * desc.locality + 0.55 * l2_fit + 0.10);
+
+    // Occupancy: one wave is ~256 items per SM; saturates quickly.
+    const double wave = static_cast<double>(spec.num_sms) * 256.0;
+    const double occupancy = clamp01(desc.parallelism / (2.0 * wave));
+
+    // Issue throughput combines residency with compute-boundedness.
+    m.sm_throughput = clamp01(occupancy * (0.35 + 0.65 * r));
+    m.ipc = spec.ipc_peak * m.sm_throughput;
+    return m;
+}
+
+double
+sm_activity(const KernelDesc& desc, const PlatformSpec& spec)
+{
+    return micro_metrics(desc, spec).sm_throughput;
+}
+
+double
+mem_activity(const KernelDesc& desc, const PlatformSpec& spec)
+{
+    const KernelTime t = kernel_time(desc, spec);
+    const double dur = std::max(1e-9, t.total_us(1.0));
+    // bytes/us sustained over the kernel, as a fraction of peak bytes/us.
+    const double sustained = desc.bytes / dur;
+    const double peak = spec.mem_bw_gbps * 1e3;
+    return std::clamp(sustained / peak, 0.0, 1.0);
+}
+
+} // namespace mystique::dev

@@ -1,0 +1,57 @@
+#pragma once
+
+/// @file
+/// Analytic kernel cost and microarchitectural metric models.
+///
+/// Durations follow a roofline with per-kind efficiency derating:
+///
+///   compute_us = flops / (peak_gflops * eff_compute(kind) * freq_scale)
+///   memory_us  = bytes / (mem_bw_gbps * eff_memory(kind, locality))
+///   duration   = max(compute_us, memory_us) + kernel_launch_us
+///
+/// The model is *deterministic* in (KernelDesc, PlatformSpec, freq_scale);
+/// run-to-run jitter is applied separately by the Device so that original
+/// and replay runs are independently noisy, as on real hardware.
+
+#include "device/kernel.h"
+#include "device/platform.h"
+
+namespace mystique::dev {
+
+/// Split duration so DVFS can scale the compute portion only.
+struct KernelTime {
+    double compute_us = 0.0; ///< at freq_scale = 1
+    double memory_us = 0.0;
+    double launch_us = 0.0;
+
+    /// Total at the given frequency scale (compute scales 1/s).
+    double total_us(double freq_scale) const
+    {
+        const double c = compute_us / freq_scale;
+        return (c > memory_us ? c : memory_us) + launch_us;
+    }
+};
+
+/// Compute efficiency (fraction of peak FLOP rate) for a kernel kind.
+double compute_efficiency(KernelKind kind);
+
+/// Memory efficiency (fraction of peak bandwidth) given kind and locality.
+double memory_efficiency(KernelKind kind, double locality);
+
+/// Evaluates the roofline for one kernel on one platform.
+KernelTime kernel_time(const KernelDesc& desc, const PlatformSpec& spec);
+
+/// Per-kernel microarchitectural metrics (Figure 6 quantities).  Purely a
+/// function of the descriptor and platform, so identical kernels in original
+/// and replay runs produce identical metrics — deviations come from
+/// value-dependent descriptors (embedding locality) and run jitter.
+MicroMetrics micro_metrics(const KernelDesc& desc, const PlatformSpec& spec);
+
+/// Fraction of SM issue slots a kernel occupies while resident (occupancy ×
+/// issue efficiency); used for SM-utilization accounting.
+double sm_activity(const KernelDesc& desc, const PlatformSpec& spec);
+
+/// Fraction of peak DRAM bandwidth the kernel sustains while running.
+double mem_activity(const KernelDesc& desc, const PlatformSpec& spec);
+
+} // namespace mystique::dev

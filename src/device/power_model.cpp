@@ -1,0 +1,48 @@
+#include "device/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "device/cost_model.h"
+
+namespace mystique::dev {
+
+PowerModel::PowerModel(PlatformSpec spec) : spec_(std::move(spec)) {}
+
+double
+PowerModel::freq_scale_for_limit(double power_limit_w) const
+{
+    MYST_CHECK_MSG(power_limit_w > 0.0, "non-positive power limit");
+    const double budget = power_limit_w - spec_.idle_power_w;
+    if (budget <= 0.0)
+        return spec_.min_freq_scale;
+    if (budget >= spec_.max_dynamic_power_w)
+        return 1.0;
+    const double s = std::pow(budget / spec_.max_dynamic_power_w, 1.0 / spec_.alpha_power);
+    return std::clamp(s, spec_.min_freq_scale, 1.0);
+}
+
+double
+PowerModel::kernel_dynamic_energy(const KernelDesc& desc, double duration_us,
+                                  double freq_scale) const
+{
+    const double cu = sm_activity(desc, spec_);
+    const double mu = mem_activity(desc, spec_);
+    // Compute activity pays the full frequency/voltage cost; memory-system
+    // power scales much less with core clocks.
+    const double p_dyn = spec_.max_dynamic_power_w *
+                         (0.62 * cu * std::pow(freq_scale, spec_.alpha_power) +
+                          0.38 * mu * std::pow(freq_scale, 0.4));
+    return p_dyn * duration_us;
+}
+
+double
+PowerModel::average_power(double total_dynamic_energy, double window_us) const
+{
+    if (window_us <= 0.0)
+        return spec_.idle_power_w;
+    return spec_.idle_power_w + total_dynamic_energy / window_us;
+}
+
+} // namespace mystique::dev

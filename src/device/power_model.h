@@ -1,0 +1,41 @@
+#pragma once
+
+/// @file
+/// Board power and DVFS model.
+///
+/// Power = idle + dynamic, with dynamic power proportional to utilization and
+/// to freq_scale^alpha (alpha ≈ 2.2 captures the voltage–frequency curve).
+/// Setting a power limit below TDP caps the sustainable frequency scale; the
+/// compute portion of kernel time then dilates by 1/freq_scale while the
+/// memory portion is unaffected.  This produces the workload-dependent
+/// energy-efficiency knees swept in the paper's Figure 8.
+
+#include "device/kernel.h"
+#include "device/platform.h"
+
+namespace mystique::dev {
+
+/// Power/DVFS behaviour for one platform instance.
+class PowerModel {
+  public:
+    explicit PowerModel(PlatformSpec spec);
+
+    /// Frequency scale sustainable under @p power_limit_w (clamped to
+    /// [spec.min_freq_scale, 1]).  Limits at/above idle+dynamic yield 1.
+    double freq_scale_for_limit(double power_limit_w) const;
+
+    /// Dynamic energy (W·us) a kernel dissipates while running for
+    /// @p duration_us at @p freq_scale given its compute/memory activity.
+    double kernel_dynamic_energy(const KernelDesc& desc, double duration_us,
+                                 double freq_scale) const;
+
+    /// Average board power over a window: idle + Σ dynamic energy / window.
+    double average_power(double total_dynamic_energy, double window_us) const;
+
+    const PlatformSpec& spec() const { return spec_; }
+
+  private:
+    PlatformSpec spec_;
+};
+
+} // namespace mystique::dev

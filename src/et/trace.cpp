@@ -1,0 +1,209 @@
+#include "et/trace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace mystique::et {
+
+Json
+TraceMeta::to_json() const
+{
+    Json j = Json::object();
+    j.set("workload", Json(workload));
+    j.set("platform", Json(platform));
+    j.set("rank", Json(static_cast<int64_t>(rank)));
+    j.set("world_size", Json(static_cast<int64_t>(world_size)));
+    j.set("iteration", Json(static_cast<int64_t>(iteration)));
+    j.set("seed", Json(seed));
+    if (!process_groups.empty()) {
+        Json groups = Json::object();
+        for (const auto& [id, ranks] : process_groups) {
+            Json arr = Json::array();
+            for (int r : ranks)
+                arr.push_back(Json(static_cast<int64_t>(r)));
+            groups.set(std::to_string(id), std::move(arr));
+        }
+        j.set("process_groups", std::move(groups));
+    }
+    return j;
+}
+
+TraceMeta
+TraceMeta::from_json(const Json& j)
+{
+    TraceMeta m;
+    m.workload = j.get_string("workload", "");
+    m.platform = j.get_string("platform", "");
+    m.rank = static_cast<int>(j.get_int("rank", 0));
+    m.world_size = static_cast<int>(j.get_int("world_size", 1));
+    m.iteration = static_cast<int>(j.get_int("iteration", 0));
+    m.seed = static_cast<uint64_t>(j.get_int("seed", 0));
+    if (const Json* groups = j.find("process_groups")) {
+        for (const auto& [key, arr] : groups->as_object()) {
+            std::vector<int> ranks;
+            for (const auto& r : arr.as_array())
+                ranks.push_back(static_cast<int>(r.as_int()));
+            m.process_groups[std::stoll(key)] = std::move(ranks);
+        }
+    }
+    return m;
+}
+
+void
+ExecutionTrace::add_node(Node node)
+{
+    if (!nodes_.empty())
+        MYST_CHECK_MSG(node.id > nodes_.back().id,
+                       "node IDs must increase: " << node.id << " after " << nodes_.back().id);
+    index_[node.id] = nodes_.size();
+    nodes_.push_back(std::move(node));
+}
+
+const Node*
+ExecutionTrace::find(int64_t id) const
+{
+    auto it = index_.find(id);
+    return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+std::vector<int64_t>
+ExecutionTrace::children(int64_t id) const
+{
+    std::vector<int64_t> out;
+    for (const auto& n : nodes_) {
+        if (n.parent == id)
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+const Node*
+ExecutionTrace::find_by_name(const std::string& name) const
+{
+    for (const auto& n : nodes_) {
+        if (n.name == name)
+            return &n;
+    }
+    return nullptr;
+}
+
+std::unordered_map<dev::OpCategory, int64_t>
+ExecutionTrace::count_by_category() const
+{
+    std::unordered_map<dev::OpCategory, int64_t> counts;
+    for (const auto& n : nodes_) {
+        if (n.is_op())
+            ++counts[n.category];
+    }
+    return counts;
+}
+
+Json
+ExecutionTrace::to_json() const
+{
+    Json j = Json::object();
+    j.set("schema_version", Json(static_cast<int64_t>(1)));
+    j.set("meta", meta_.to_json());
+    Json nodes = Json::array();
+    for (const auto& n : nodes_)
+        nodes.push_back(n.to_json());
+    j.set("nodes", std::move(nodes));
+    return j;
+}
+
+ExecutionTrace
+ExecutionTrace::from_json(const Json& j)
+{
+    ExecutionTrace t;
+    t.meta_ = TraceMeta::from_json(j.at("meta"));
+    for (const auto& n : j.at("nodes").as_array())
+        t.add_node(Node::from_json(n));
+    return t;
+}
+
+void
+ExecutionTrace::save(const std::string& path) const
+{
+    to_json().dump_file(path);
+}
+
+ExecutionTrace
+ExecutionTrace::load(const std::string& path)
+{
+    return from_json(Json::parse_file(path));
+}
+
+uint64_t
+ExecutionTrace::fingerprint() const
+{
+    // Order-independent histogram hash over (op name, count).
+    std::unordered_map<std::string, int64_t> hist;
+    for (const auto& n : nodes_) {
+        if (n.is_op())
+            ++hist[n.name];
+    }
+    std::vector<std::pair<std::string, int64_t>> sorted(hist.begin(), hist.end());
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    auto mix = [&h](const char* data, std::size_t len) {
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= static_cast<unsigned char>(data[i]);
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const auto& [name, count] : sorted) {
+        mix(name.data(), name.size());
+        mix(reinterpret_cast<const char*>(&count), sizeof(count));
+    }
+    return h;
+}
+
+void
+ExecutionTraceObserver::register_callback(std::string output_path)
+{
+    output_path_ = std::move(output_path);
+}
+
+void
+ExecutionTraceObserver::start()
+{
+    trace_ = ExecutionTrace{};
+    pending_.clear();
+    active_ = true;
+}
+
+void
+ExecutionTraceObserver::stop()
+{
+    active_ = false;
+    // Nodes arrived in completion order; restore execution (ID) order.
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Node& a, const Node& b) { return a.id < b.id; });
+    trace_ = ExecutionTrace{};
+    trace_.meta() = pending_meta_;
+    for (auto& n : pending_)
+        trace_.add_node(std::move(n));
+    pending_.clear();
+    if (output_path_.has_value()) {
+        trace_.save(*output_path_);
+        MYST_DEBUG("execution trace written to " << *output_path_);
+    }
+}
+
+void
+ExecutionTraceObserver::record(Node node)
+{
+    MYST_CHECK_MSG(active_, "record() on inactive observer");
+    pending_.push_back(std::move(node));
+}
+
+void
+ExecutionTraceObserver::set_meta(TraceMeta meta)
+{
+    pending_meta_ = std::move(meta);
+    trace_.meta() = pending_meta_;
+}
+
+} // namespace mystique::et

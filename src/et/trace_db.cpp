@@ -1,0 +1,132 @@
+#include "et/trace_db.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace mystique::et {
+
+std::size_t
+TraceDatabase::add(ExecutionTrace trace)
+{
+    traces_.push_back(std::move(trace));
+    return traces_.size() - 1;
+}
+
+std::size_t
+TraceDatabase::load_directory(const std::string& dir)
+{
+    namespace fs = std::filesystem;
+    std::size_t loaded = 0;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+        try {
+            add(ExecutionTrace::load(path.string()));
+            ++loaded;
+        } catch (const MystiqueError& e) {
+            MYST_WARN("skipping unreadable trace " << path.string() << ": " << e.what());
+        }
+    }
+    return loaded;
+}
+
+const ExecutionTrace&
+TraceDatabase::trace(std::size_t index) const
+{
+    MYST_CHECK_MSG(index < traces_.size(), "trace index out of range: " << index);
+    return traces_[index];
+}
+
+std::vector<TraceGroup>
+TraceDatabase::analyze() const
+{
+    std::unordered_map<uint64_t, TraceGroup> groups;
+    for (std::size_t i = 0; i < traces_.size(); ++i) {
+        const uint64_t fp = traces_[i].fingerprint();
+        auto& g = groups[fp];
+        g.fingerprint = fp;
+        if (g.members.empty())
+            g.representative_workload = traces_[i].meta().workload;
+        g.members.push_back(i);
+    }
+    std::vector<TraceGroup> out;
+    out.reserve(groups.size());
+    for (auto& [fp, g] : groups) {
+        g.population_weight =
+            traces_.empty()
+                ? 0.0
+                : static_cast<double>(g.members.size()) / static_cast<double>(traces_.size());
+        out.push_back(std::move(g));
+    }
+    std::sort(out.begin(), out.end(), [](const TraceGroup& a, const TraceGroup& b) {
+        if (a.population_weight != b.population_weight)
+            return a.population_weight > b.population_weight;
+        return a.fingerprint < b.fingerprint;
+    });
+    return out;
+}
+
+std::vector<std::size_t>
+TraceDatabase::select_top(std::size_t top_k) const
+{
+    std::vector<std::size_t> out;
+    for (const auto& g : analyze()) {
+        if (out.size() >= top_k)
+            break;
+        out.push_back(g.members.front());
+    }
+    return out;
+}
+
+ExecutionTrace
+build_trace(const ExecutionTrace& raw, const BuilderOptions& opts)
+{
+    // Validate parents refer to earlier nodes (or -1 for roots).
+    std::unordered_map<int64_t, bool> seen;
+    for (const auto& n : raw.nodes()) {
+        if (n.parent >= 0 && seen.find(n.parent) == seen.end())
+            MYST_THROW(ParseError, "node " << n.id << " references unknown parent " << n.parent);
+        seen[n.id] = true;
+        if (n.is_op() && n.op_schema.empty() && n.category != dev::OpCategory::kFused)
+            MYST_THROW(ParseError,
+                       "operator node " << n.id << " ('" << n.name << "') lacks a schema");
+    }
+
+    ExecutionTrace out;
+    out.meta() = raw.meta();
+
+    if (!opts.renumber_ids) {
+        for (const auto& n : raw.nodes()) {
+            if (opts.drop_empty_roots && n.kind == NodeKind::kRoot &&
+                raw.children(n.id).empty())
+                continue;
+            out.add_node(n);
+        }
+        return out;
+    }
+
+    std::unordered_map<int64_t, int64_t> remap;
+    remap[-1] = -1;
+    int64_t next = 0;
+    for (const auto& n : raw.nodes()) {
+        if (opts.drop_empty_roots && n.kind == NodeKind::kRoot && raw.children(n.id).empty())
+            continue;
+        Node copy = n;
+        remap[n.id] = next;
+        copy.id = next++;
+        auto it = remap.find(n.parent);
+        copy.parent = it == remap.end() ? -1 : it->second;
+        out.add_node(std::move(copy));
+    }
+    return out;
+}
+
+} // namespace mystique::et

@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file
+/// Trace database: the "ET analyzer" and "ET builder" stages of Figure 3.
+///
+/// Production deployments collect ETs from the whole fleet into trace
+/// databases; the analyzer groups equivalent traces (same operator mix) and
+/// selects replay samples by population weight (§8.2), and the builder
+/// normalizes raw traces before replay.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "et/trace.h"
+
+namespace mystique::et {
+
+/// A group of traces that share an operator-mix fingerprint.
+struct TraceGroup {
+    uint64_t fingerprint = 0;
+    std::string representative_workload;
+    /// Indices into the database's trace list.
+    std::vector<std::size_t> members;
+    /// Fraction of the database population this group represents.
+    double population_weight = 0.0;
+};
+
+/// An in-memory collection of execution traces with selection support.
+class TraceDatabase {
+  public:
+    /// Adds one trace; returns its index.
+    std::size_t add(ExecutionTrace trace);
+
+    /// Loads every "*.json" ET file in a directory (non-recursive).
+    /// Returns the number of traces loaded.
+    std::size_t load_directory(const std::string& dir);
+
+    std::size_t size() const { return traces_.size(); }
+    const ExecutionTrace& trace(std::size_t index) const;
+
+    /// Groups traces by fingerprint and computes population weights,
+    /// sorted by weight descending.
+    std::vector<TraceGroup> analyze() const;
+
+    /// Indices of representative traces for the @p top_k most common groups
+    /// (one representative per group) — the paper's "select the most
+    /// commonly-occurring" policy.
+    std::vector<std::size_t> select_top(std::size_t top_k) const;
+
+  private:
+    std::vector<ExecutionTrace> traces_;
+};
+
+/// Normalization applied by the ET builder before replay.
+struct BuilderOptions {
+    /// Renumber node IDs to be dense starting at 0 (preserving order).
+    bool renumber_ids = true;
+    /// Drop nodes with kind kRoot that have no children.
+    bool drop_empty_roots = true;
+};
+
+/// Preprocesses a raw trace into replayable form:
+///  - validates parent links and ID monotonicity,
+///  - optionally renumbers IDs densely,
+///  - verifies operator nodes carry schemas (except Fused, which legitimately
+///    lack them, §4.3.4).
+/// Throws ParseError on malformed traces.
+ExecutionTrace build_trace(const ExecutionTrace& raw, const BuilderOptions& opts = {});
+
+} // namespace mystique::et

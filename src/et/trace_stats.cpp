@@ -1,0 +1,129 @@
+#include "et/trace_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mystique::et {
+
+TraceStats
+TraceStats::build(const ExecutionTrace& trace, const prof::ProfilerTrace* prof)
+{
+    TraceStats out;
+    std::unordered_map<std::string, OpStats> rows;
+
+    // Map node id → op name of its nearest operator ancestor-or-self, so
+    // kernels launched by children attribute to the composite they serve.
+    std::unordered_map<int64_t, std::string> owner_name;
+    std::unordered_map<int64_t, const Node*> by_id;
+    for (const auto& n : trace.nodes())
+        by_id[n.id] = &n;
+
+    for (const auto& n : trace.nodes()) {
+        std::string owner;
+        if (n.parent >= 0) {
+            auto it = owner_name.find(n.parent);
+            if (it != owner_name.end())
+                owner = it->second;
+        }
+        if (owner.empty() && n.is_op())
+            owner = n.name;
+        owner_name[n.id] = owner;
+
+        if (!n.is_op())
+            continue;
+        OpStats& row = rows[n.name];
+        row.name = n.name;
+        row.category = n.category;
+        ++row.count;
+        ++out.total_ops_;
+        for (const auto& arg : n.inputs)
+            for (const auto& t : arg.tensors)
+                row.input_elements += t.numel;
+    }
+
+    if (prof != nullptr) {
+        for (const auto& k : prof->kernels()) {
+            auto it = owner_name.find(k.correlation);
+            if (it == owner_name.end() || it->second.empty())
+                continue;
+            auto rit = rows.find(it->second);
+            if (rit == rows.end())
+                continue;
+            rit->second.kernel_time_us += k.dur;
+            out.total_kernel_us_ += k.dur;
+        }
+    }
+
+    out.ops_.reserve(rows.size());
+    for (auto& [name, row] : rows)
+        out.ops_.push_back(std::move(row));
+    std::sort(out.ops_.begin(), out.ops_.end(), [](const OpStats& a, const OpStats& b) {
+        if (a.kernel_time_us != b.kernel_time_us)
+            return a.kernel_time_us > b.kernel_time_us;
+        if (a.count != b.count)
+            return a.count > b.count;
+        return a.name < b.name;
+    });
+    return out;
+}
+
+const OpStats*
+TraceStats::find(const std::string& name) const
+{
+    for (const auto& row : ops_) {
+        if (row.name == name)
+            return &row;
+    }
+    return nullptr;
+}
+
+double
+TraceStats::top_k_time_share(std::size_t k) const
+{
+    if (total_kernel_us_ <= 0.0)
+        return 0.0;
+    double covered = 0.0;
+    for (std::size_t i = 0; i < std::min(k, ops_.size()); ++i)
+        covered += ops_[i].kernel_time_us;
+    return covered / total_kernel_us_;
+}
+
+double
+TraceStats::mix_distance(const TraceStats& a, const TraceStats& b)
+{
+    if (a.total_ops_ == 0 && b.total_ops_ == 0)
+        return 0.0;
+    std::unordered_map<std::string, double> mix;
+    for (const auto& row : a.ops_)
+        mix[row.name] += static_cast<double>(row.count) /
+                         std::max<int64_t>(a.total_ops_, 1);
+    for (const auto& row : b.ops_)
+        mix[row.name] -= static_cast<double>(row.count) /
+                         std::max<int64_t>(b.total_ops_, 1);
+    double dist = 0.0;
+    for (const auto& [name, delta] : mix)
+        dist += std::abs(delta);
+    return dist;
+}
+
+Json
+TraceStats::to_json() const
+{
+    Json rows = Json::array();
+    for (const auto& op : ops_) {
+        Json j = Json::object();
+        j.set("name", Json(op.name));
+        j.set("category", Json(dev::to_string(op.category)));
+        j.set("count", Json(op.count));
+        j.set("input_elements", Json(op.input_elements));
+        j.set("kernel_time_us", Json(op.kernel_time_us));
+        rows.push_back(std::move(j));
+    }
+    Json doc = Json::object();
+    doc.set("total_ops", Json(total_ops_));
+    doc.set("total_kernel_us", Json(total_kernel_us_));
+    doc.set("ops", std::move(rows));
+    return doc;
+}
+
+} // namespace mystique::et

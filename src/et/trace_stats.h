@@ -1,0 +1,63 @@
+#pragma once
+
+/// @file
+/// Operator-level trace statistics — the "advanced ET analyzer" direction of
+/// §8.2: per-operator summaries and weighting beyond whole-trace population
+/// counts, plus an operator-mix distance for grouping near-identical traces.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "et/trace.h"
+#include "profiler/profiler.h"
+
+namespace mystique::et {
+
+/// Per-operator-name aggregate over one trace.
+struct OpStats {
+    std::string name;
+    dev::OpCategory category = dev::OpCategory::kATen;
+    int64_t count = 0;
+    /// Total elements across tensor inputs (a size proxy).
+    int64_t input_elements = 0;
+    /// Device time attributed to the op's subtrees (0 without a profiler
+    /// trace).
+    double kernel_time_us = 0.0;
+};
+
+/// Summary of a trace's operator mix.
+class TraceStats {
+  public:
+    /// Builds stats; @p prof optionally attributes device time per op.
+    static TraceStats build(const ExecutionTrace& trace,
+                            const prof::ProfilerTrace* prof = nullptr);
+
+    /// Per-name rows, sorted by kernel time (then count) descending.
+    const std::vector<OpStats>& ops() const { return ops_; }
+
+    /// Row lookup; nullptr when the op never appears.
+    const OpStats* find(const std::string& name) const;
+
+    int64_t total_ops() const { return total_ops_; }
+    double total_kernel_us() const { return total_kernel_us_; }
+
+    /// Fraction of device time carried by the top-k operator names —
+    /// "timing cost" weighting for replay-sample selection (§8.2).
+    double top_k_time_share(std::size_t k) const;
+
+    /// L1 distance between two traces' normalized op-count mixes, in [0, 2].
+    /// 0 = identical mixes; used to group near-equivalent fleet traces.
+    static double mix_distance(const TraceStats& a, const TraceStats& b);
+
+    /// Serializes the rows for reports.
+    Json to_json() const;
+
+  private:
+    std::vector<OpStats> ops_;
+    int64_t total_ops_ = 0;
+    double total_kernel_us_ = 0.0;
+};
+
+} // namespace mystique::et

@@ -1,0 +1,108 @@
+#include "framework/autograd.h"
+
+#include "common/error.h"
+
+namespace mystique::fw::autograd {
+
+void
+Engine::record(TapeNode node)
+{
+    for (auto& out : node.output_tensors) {
+        out->requires_grad = true;
+        out->produced_by_tape = true;
+    }
+    tape_.push_back(std::move(node));
+}
+
+void
+Engine::run_backward(Session& sess, const Tensor& loss,
+                     const std::vector<Session::GradHook>& hooks)
+{
+    MYST_CHECK_MSG(loss.defined(), "backward() on undefined tensor");
+    MYST_CHECK_MSG(loss.numel() == 1, "backward() requires a scalar loss");
+
+    // Backward runs on the autograd thread; main thread blocks until done.
+    sess.set_tid(kAutogradThread);
+    NoGradGuard no_grad(sess);
+
+    std::unordered_map<TensorImpl*, Tensor> grads;
+    grads[loss.impl()] = sess.call_t("aten::ones_like", {IValue(loss)});
+
+    for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) {
+        TapeNode& node = *it;
+
+        std::vector<Tensor> grad_outputs;
+        grad_outputs.reserve(node.output_tensors.size());
+        bool any = false;
+        for (auto& out : node.output_tensors) {
+            auto git = grads.find(out.get());
+            if (git != grads.end()) {
+                grad_outputs.push_back(git->second);
+                any = true;
+            } else {
+                grad_outputs.emplace_back();
+            }
+        }
+        if (!any)
+            continue;
+
+        sess.push_scope("autograd::engine::evaluate_function: " + node.grad_name +
+                        "Backward0");
+        std::vector<Tensor> grad_inputs = node.backward(sess, node.ctx, grad_outputs);
+        MYST_CHECK_MSG(grad_inputs.size() == node.ctx.inputs.size(),
+                       node.grad_name << " backward returned " << grad_inputs.size()
+                                      << " grads for " << node.ctx.inputs.size()
+                                      << " inputs");
+
+        // Routes one gradient contribution to a target tensor: accumulate,
+        // and for leaf parameters finalize .grad and fire post-accumulate
+        // hooks (DDP bucket all-reduce launches from here, overlapping with
+        // the remaining backward compute).
+        auto route = [&](const Tensor& target_handle, const Tensor& g) {
+            TensorImpl* target = target_handle.impl();
+            if (!target->requires_grad)
+                return;
+            auto git = grads.find(target);
+            if (git == grads.end()) {
+                grads.emplace(target, g);
+            } else {
+                // In-stream accumulation, as AccumulateGrad does.
+                sess.call("aten::add_.Tensor",
+                          {IValue(git->second), IValue(g), IValue(1.0)});
+            }
+            if (!target->produced_by_tape && target->grad == nullptr) {
+                target->grad = grads[target].impl_ptr();
+                for (const auto& hook : hooks)
+                    hook(sess, target_handle);
+            }
+        };
+
+        for (std::size_t i = 0; i < grad_inputs.size(); ++i) {
+            if (!grad_inputs[i].defined())
+                continue;
+            const IValue& slot = node.ctx.inputs[i];
+            if (!slot.is_tensor())
+                continue;
+            route(slot.tensor(), grad_inputs[i]);
+        }
+        // Tensor-list inputs (aten::cat) route per-element grads.
+        for (std::size_t i = 0; i < node.ctx.list_grads.size(); ++i) {
+            const auto& elems = node.ctx.list_grads[i];
+            if (elems.empty())
+                continue;
+            const auto& list = node.ctx.inputs[i].tensor_list();
+            MYST_CHECK_MSG(elems.size() == list.size(),
+                           node.grad_name << " list grads size mismatch");
+            for (std::size_t e = 0; e < elems.size(); ++e) {
+                if (elems[e].defined())
+                    route(list[e], elems[e]);
+            }
+        }
+        sess.pop_scope();
+    }
+
+    clear();
+    sess.set_tid(kMainThread);
+}
+
+} // namespace mystique::fw::autograd

@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file
+/// Reverse-mode autograd engine.
+///
+/// Leaf (non-composite) differentiable ops append TapeNodes during forward;
+/// backward() walks the tape in reverse on the autograd thread (tid 2 in
+/// traces, matching the second CPU row in the paper's Figure 4).  Backward
+/// math is expressed as ordinary session ops, so the backward pass is traced
+/// and timed exactly like user code — autograd frames appear as
+/// "autograd::engine::evaluate_function: <Op>Backward0" wrapper nodes that
+/// the replayer skips while replaying their underlying operators.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "framework/op_registry.h"
+#include "framework/session.h"
+
+namespace mystique::fw::autograd {
+
+/// One recorded differentiable op application.
+struct TapeNode {
+    std::string grad_name; ///< e.g. "Addmm" → frame "AddmmBackward0"
+    AutogradContext ctx;
+    BackwardFn backward;
+    /// Impls of tensor outputs, for grad routing.
+    std::vector<std::shared_ptr<TensorImpl>> output_tensors;
+};
+
+/// The per-session tape and backward executor.
+class Engine {
+  public:
+    /// Appends a node and marks its outputs as tape-produced.
+    void record(TapeNode node);
+
+    std::size_t size() const { return tape_.size(); }
+    void clear() { tape_.clear(); }
+
+    /// Executes backward from @p loss; fires @p hooks as leaf parameters'
+    /// gradients are finalized.  Clears the tape on completion.
+    void run_backward(Session& sess, const Tensor& loss,
+                      const std::vector<Session::GradHook>& hooks);
+
+  private:
+    std::vector<TapeNode> tape_;
+};
+
+} // namespace mystique::fw::autograd

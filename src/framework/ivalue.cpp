@@ -1,0 +1,79 @@
+#include "framework/ivalue.h"
+
+#include "common/error.h"
+
+namespace mystique::fw {
+
+const Tensor&
+IValue::tensor() const
+{
+    if (tag_ != Tag::kTensor)
+        MYST_THROW(ReplayError, "IValue: expected tensor");
+    return tensor_;
+}
+
+const std::vector<Tensor>&
+IValue::tensor_list() const
+{
+    if (tag_ != Tag::kTensorList)
+        MYST_THROW(ReplayError, "IValue: expected tensor list");
+    return tensor_list_;
+}
+
+int64_t
+IValue::to_int() const
+{
+    if (tag_ == Tag::kInt)
+        return int_;
+    if (tag_ == Tag::kBool)
+        return bool_ ? 1 : 0;
+    MYST_THROW(ReplayError, "IValue: expected int");
+}
+
+double
+IValue::to_double() const
+{
+    if (tag_ == Tag::kDouble)
+        return double_;
+    if (tag_ == Tag::kInt)
+        return static_cast<double>(int_);
+    MYST_THROW(ReplayError, "IValue: expected number");
+}
+
+bool
+IValue::to_bool() const
+{
+    if (tag_ == Tag::kBool)
+        return bool_;
+    if (tag_ == Tag::kInt)
+        return int_ != 0;
+    MYST_THROW(ReplayError, "IValue: expected bool");
+}
+
+const std::vector<int64_t>&
+IValue::int_list() const
+{
+    if (tag_ != Tag::kIntList)
+        MYST_THROW(ReplayError, "IValue: expected int list");
+    return int_list_;
+}
+
+const std::string&
+IValue::str() const
+{
+    if (tag_ != Tag::kString)
+        MYST_THROW(ReplayError, "IValue: expected string");
+    return string_;
+}
+
+std::vector<Tensor>
+IValue::referenced_tensors() const
+{
+    switch (tag_) {
+      case Tag::kTensor: return {tensor_};
+      case Tag::kTensorList: return tensor_list_;
+      default: return {};
+    }
+}
+
+} // namespace mystique::fw

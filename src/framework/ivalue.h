@@ -1,0 +1,69 @@
+#pragma once
+
+/// @file
+/// IValue: the tagged argument value passed to operators, mirroring
+/// torch::jit::IValue.  Operators receive their arguments as a positional
+/// IValue vector in schema order; the replayer reconstructs the same vector
+/// from ET argument metadata.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "framework/tensor.h"
+
+namespace mystique::fw {
+
+/// A dynamically-typed operator argument.
+class IValue {
+  public:
+    enum class Tag { kNone, kTensor, kTensorList, kInt, kDouble, kBool, kIntList, kString };
+
+    IValue() : tag_(Tag::kNone) {}
+    IValue(Tensor t) : tag_(t.defined() ? Tag::kTensor : Tag::kNone), tensor_(std::move(t)) {}
+    IValue(std::vector<Tensor> ts) : tag_(Tag::kTensorList), tensor_list_(std::move(ts)) {}
+    IValue(int64_t v) : tag_(Tag::kInt), int_(v) {}
+    IValue(int v) : tag_(Tag::kInt), int_(v) {}
+    IValue(double v) : tag_(Tag::kDouble), double_(v) {}
+    IValue(bool v) : tag_(Tag::kBool), bool_(v) {}
+    IValue(std::vector<int64_t> v) : tag_(Tag::kIntList), int_list_(std::move(v)) {}
+    IValue(std::string v) : tag_(Tag::kString), string_(std::move(v)) {}
+    IValue(const char* v) : tag_(Tag::kString), string_(v) {}
+
+    static IValue none() { return IValue(); }
+
+    Tag tag() const { return tag_; }
+    bool is_none() const { return tag_ == Tag::kNone; }
+    bool is_tensor() const { return tag_ == Tag::kTensor; }
+    bool is_tensor_list() const { return tag_ == Tag::kTensorList; }
+    bool is_int() const { return tag_ == Tag::kInt; }
+    bool is_double() const { return tag_ == Tag::kDouble; }
+    bool is_bool() const { return tag_ == Tag::kBool; }
+    bool is_int_list() const { return tag_ == Tag::kIntList; }
+    bool is_string() const { return tag_ == Tag::kString; }
+
+    /// Typed accessors; throw ReplayError on tag mismatch.
+    const Tensor& tensor() const;
+    const std::vector<Tensor>& tensor_list() const;
+    int64_t to_int() const;
+    /// Numeric coercion: accepts int or double (PyTorch Scalar semantics).
+    double to_double() const;
+    bool to_bool() const;
+    const std::vector<int64_t>& int_list() const;
+    const std::string& str() const;
+
+    /// All tensors referenced by this value (0, 1, or N).
+    std::vector<Tensor> referenced_tensors() const;
+
+  private:
+    Tag tag_;
+    Tensor tensor_;
+    std::vector<Tensor> tensor_list_;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    bool bool_ = false;
+    std::vector<int64_t> int_list_;
+    std::string string_;
+};
+
+} // namespace mystique::fw

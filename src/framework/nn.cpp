@@ -1,0 +1,227 @@
+#include "framework/nn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "framework/functional.h"
+#include "framework/math.h"
+
+namespace mystique::fw::nn {
+
+Tensor
+make_parameter(Session& s, Shape shape, float init_scale)
+{
+    Tensor p = s.alloc(std::move(shape));
+    if (s.numeric())
+        math::randn(p.f32(), p.numel(), s.rng(), init_scale);
+    p.set_requires_grad(true);
+    return p;
+}
+
+Linear::Linear(Session& s, int64_t in_features, int64_t out_features, bool bias)
+{
+    const float scale = 1.0f / std::sqrt(static_cast<float>(in_features));
+    weight = make_parameter(s, {out_features, in_features}, scale);
+    if (bias)
+        bias_t = make_parameter(s, {out_features}, scale);
+}
+
+Tensor
+Linear::forward(Session& s, const Tensor& x) const
+{
+    return F::linear(s, x, weight, bias_t);
+}
+
+std::vector<Tensor>
+Linear::parameters() const
+{
+    std::vector<Tensor> out{weight};
+    if (bias_t.defined())
+        out.push_back(bias_t);
+    return out;
+}
+
+Conv2d::Conv2d(Session& s, int64_t in_ch, int64_t out_ch, int64_t kernel, int64_t stride_,
+               int64_t padding_, bool bias)
+    : stride(stride_), padding(padding_)
+{
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(in_ch * kernel * kernel));
+    weight = make_parameter(s, {out_ch, in_ch, kernel, kernel}, scale);
+    if (bias)
+        bias_t = make_parameter(s, {out_ch}, scale);
+}
+
+Tensor
+Conv2d::forward(Session& s, const Tensor& x) const
+{
+    return F::conv2d(s, x, weight, bias_t, stride, padding);
+}
+
+std::vector<Tensor>
+Conv2d::parameters() const
+{
+    std::vector<Tensor> out{weight};
+    if (bias_t.defined())
+        out.push_back(bias_t);
+    return out;
+}
+
+BatchNorm2d::BatchNorm2d(Session& s, int64_t channels)
+{
+    gamma = make_parameter(s, {channels}, 0.0f);
+    beta = make_parameter(s, {channels}, 0.0f);
+    if (s.numeric())
+        std::fill(gamma.f32(), gamma.f32() + channels, 1.0f);
+}
+
+Tensor
+BatchNorm2d::forward(Session& s, const Tensor& x) const
+{
+    return F::batch_norm(s, x, gamma, beta);
+}
+
+std::vector<Tensor>
+BatchNorm2d::parameters() const
+{
+    return {gamma, beta};
+}
+
+EmbeddingBag::EmbeddingBag(Session& s, int64_t rows, int64_t dim)
+{
+    weight = make_parameter(s, {rows, dim}, 0.02f);
+}
+
+Tensor
+EmbeddingBag::forward(Session& s, const Tensor& indices, const Tensor& offsets) const
+{
+    return F::embedding_bag(s, weight, indices, offsets);
+}
+
+std::vector<Tensor>
+EmbeddingBag::parameters() const
+{
+    return {weight};
+}
+
+LstmLayer::LstmLayer(Session& s, int64_t input_dim, int64_t hidden)
+{
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hidden));
+    w_ih = make_parameter(s, {4 * hidden, input_dim}, scale);
+    w_hh = make_parameter(s, {4 * hidden, hidden}, scale);
+    bias = make_parameter(s, {4 * hidden}, scale);
+}
+
+Tensor
+LstmLayer::forward(Session& s, const Tensor& x) const
+{
+    return s.call_t("fairseq::lstm_layer",
+                    {IValue(x), IValue(w_ih), IValue(w_hh), IValue(bias)});
+}
+
+std::vector<Tensor>
+LstmLayer::parameters() const
+{
+    return {w_ih, w_hh, bias};
+}
+
+SGD::SGD(std::vector<Tensor> params, double lr) : params_(std::move(params)), lr_(lr) {}
+
+void
+SGD::step(Session& s)
+{
+    NoGradGuard guard(s);
+    for (auto& p : params_) {
+        Tensor g = p.grad();
+        if (!g.defined())
+            continue;
+        s.call("aten::add_.Tensor", {IValue(p), IValue(g), IValue(-lr_)});
+    }
+}
+
+void
+SGD::zero_grad()
+{
+    for (auto& p : params_)
+        p.impl()->grad = nullptr;
+}
+
+DistributedDataParallel::DistributedDataParallel(Session& s, std::vector<Tensor> params,
+                                                 int64_t pg_id, int64_t bucket_bytes)
+    : pg_id_(pg_id)
+{
+    MYST_CHECK_MSG(s.has_process_group(pg_id), "DDP requires a registered process group");
+    // Gradients become ready roughly in reverse registration order during
+    // backward; bucket accordingly (as torch DDP does).
+    std::vector<Tensor> ordered(params.rbegin(), params.rend());
+    Bucket current;
+    int64_t current_bytes = 0;
+    auto flush = [&](Session& sess) {
+        if (current.members.empty())
+            return;
+        current.flat = sess.alloc({std::max<int64_t>(1, current_bytes / 4)});
+        buckets_.push_back(std::move(current));
+        current = Bucket{};
+        current_bytes = 0;
+    };
+    for (auto& p : ordered) {
+        current.members.push_back(p.impl());
+        param_order_.push_back(p.impl());
+        current_bytes += p.nbytes();
+        if (current_bytes >= bucket_bytes)
+            flush(s);
+    }
+    flush(s);
+    param_to_bucket_.assign(param_order_.size(), 0);
+    std::size_t bucket_idx = 0, within = 0;
+    for (std::size_t i = 0; i < param_order_.size(); ++i) {
+        param_to_bucket_[i] = bucket_idx;
+        if (++within == buckets_[bucket_idx].members.size()) {
+            ++bucket_idx;
+            within = 0;
+        }
+    }
+    reset();
+
+    s.add_post_grad_hook([this](Session& sess, const Tensor& param) {
+        on_grad_ready(sess, param);
+    });
+}
+
+void
+DistributedDataParallel::reset()
+{
+    for (auto& b : buckets_)
+        b.pending = b.members.size();
+}
+
+void
+DistributedDataParallel::wait_all(Session& s)
+{
+    const double tail = s.device().stream_tail(dev::kCommStream);
+    if (tail > s.cpu_now())
+        s.cpu_advance(tail - s.cpu_now());
+}
+
+void
+DistributedDataParallel::on_grad_ready(Session& s, const Tensor& param)
+{
+    for (std::size_t i = 0; i < param_order_.size(); ++i) {
+        if (param_order_[i] != param.impl())
+            continue;
+        Bucket& bucket = buckets_[param_to_bucket_[i]];
+        MYST_CHECK_MSG(bucket.pending > 0, "DDP bucket fired twice; missing reset()?");
+        if (--bucket.pending == 0) {
+            // All grads in the bucket are final: all-reduce the flat buffer
+            // from the autograd thread (overlaps remaining backward).
+            NoGradGuard guard(s);
+            s.call("c10d::all_reduce", {IValue(bucket.flat), IValue(pg_id_)});
+        }
+        return;
+    }
+    // Parameter not managed by this DDP instance (e.g. model-parallel
+    // embedding shards): ignore.
+}
+
+} // namespace mystique::fw::nn

@@ -1,0 +1,131 @@
+#pragma once
+
+/// @file
+/// Minimal module library (torch.nn analogue): parameter-owning layers, an
+/// SGD optimizer, and a DistributedDataParallel wrapper with bucketed
+/// gradient all-reduce overlapping the backward pass.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/session.h"
+
+namespace mystique::fw::nn {
+
+/// Creates a leaf parameter: materialized per execution mode, N(0, scale)
+/// initialized in numeric mode, requires_grad set.
+Tensor make_parameter(Session& s, Shape shape, float init_scale = 0.05f);
+
+/// Fully-connected layer.
+class Linear {
+  public:
+    Linear(Session& s, int64_t in_features, int64_t out_features, bool bias = true);
+
+    Tensor forward(Session& s, const Tensor& x) const;
+    std::vector<Tensor> parameters() const;
+
+    Tensor weight; ///< [out, in]
+    Tensor bias_t; ///< [out] or undefined
+};
+
+/// 2D convolution layer.
+class Conv2d {
+  public:
+    Conv2d(Session& s, int64_t in_ch, int64_t out_ch, int64_t kernel, int64_t stride,
+           int64_t padding, bool bias = true);
+
+    Tensor forward(Session& s, const Tensor& x) const;
+    std::vector<Tensor> parameters() const;
+
+    Tensor weight; ///< [out, in, k, k]
+    Tensor bias_t;
+    int64_t stride;
+    int64_t padding;
+};
+
+/// Batch normalization (training mode).
+class BatchNorm2d {
+  public:
+    BatchNorm2d(Session& s, int64_t channels);
+
+    Tensor forward(Session& s, const Tensor& x) const;
+    std::vector<Tensor> parameters() const;
+
+    Tensor gamma;
+    Tensor beta;
+};
+
+/// Sum-mode embedding bag table.
+class EmbeddingBag {
+  public:
+    EmbeddingBag(Session& s, int64_t rows, int64_t dim);
+
+    Tensor forward(Session& s, const Tensor& indices, const Tensor& offsets) const;
+    std::vector<Tensor> parameters() const;
+
+    Tensor weight; ///< [rows, dim]
+};
+
+/// Custom LSTM layer (fairseq::lstm_layer); the ASR workload's core block.
+class LstmLayer {
+  public:
+    LstmLayer(Session& s, int64_t input_dim, int64_t hidden);
+
+    Tensor forward(Session& s, const Tensor& x) const;
+    std::vector<Tensor> parameters() const;
+
+    Tensor w_ih; ///< [4H, I]
+    Tensor w_hh; ///< [4H, H]
+    Tensor bias; ///< [4H]
+};
+
+/// Plain SGD: param += -lr * grad, one aten::add_ per parameter, under
+/// no_grad — matching the eager optimizer op stream.
+class SGD {
+  public:
+    SGD(std::vector<Tensor> params, double lr);
+
+    void step(Session& s);
+    /// Clears .grad on all parameters (set_to_none semantics).
+    void zero_grad();
+
+  private:
+    std::vector<Tensor> params_;
+    double lr_;
+};
+
+/// Bucketed gradient all-reduce fired from autograd hooks, so communication
+/// overlaps the remaining backward compute (standard DDP behaviour; this is
+/// what makes comm time mostly *hidden* in Figure 2).
+class DistributedDataParallel {
+  public:
+    /// @param pg_id  ET process-group id registered on the session
+    /// @param bucket_bytes  gradient bucket size (default 25 MB, as PyTorch)
+    DistributedDataParallel(Session& s, std::vector<Tensor> params, int64_t pg_id,
+                            int64_t bucket_bytes = 25 * 1024 * 1024);
+
+    /// Must be called at the start of every iteration.
+    void reset();
+
+    /// Blocks the host until all in-flight gradient all-reduces complete
+    /// (Work::wait() before the optimizer touches the parameters).  Any comm
+    /// time past the end of backward compute becomes *exposed*.
+    void wait_all(Session& s);
+
+  private:
+    struct Bucket {
+        std::vector<TensorImpl*> members;
+        Tensor flat; ///< pre-allocated flattened buffer
+        std::size_t pending = 0;
+    };
+
+    void on_grad_ready(Session& s, const Tensor& param);
+
+    std::vector<Bucket> buckets_;
+    std::vector<std::size_t> param_to_bucket_;
+    std::vector<TensorImpl*> param_order_;
+    int64_t pg_id_;
+};
+
+} // namespace mystique::fw::nn

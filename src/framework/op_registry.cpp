@@ -1,0 +1,84 @@
+#include "framework/op_registry.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace mystique::fw {
+
+OpRegistry&
+OpRegistry::instance()
+{
+    static OpRegistry reg;
+    return reg;
+}
+
+void
+OpRegistry::register_op(OpDef def)
+{
+    MYST_CHECK(!def.name.empty());
+    MYST_CHECK_MSG(static_cast<bool>(def.fn), "op '" << def.name << "' has no ExecFn");
+    if (ops_.count(def.name) != 0)
+        MYST_THROW(ConfigError, "op '" << def.name << "' already registered");
+    ops_.emplace(def.name, std::move(def));
+}
+
+const OpDef*
+OpRegistry::find(const std::string& name) const
+{
+    auto it = ops_.find(name);
+    return it == ops_.end() ? nullptr : &it->second;
+}
+
+const OpDef&
+OpRegistry::at(const std::string& name) const
+{
+    const OpDef* def = find(name);
+    if (def == nullptr)
+        MYST_THROW(ReplayError, "unknown operator '" << name << "'");
+    return *def;
+}
+
+std::vector<std::string>
+OpRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(ops_.size());
+    for (const auto& [name, def] : ops_)
+        out.push_back(name);
+    return out;
+}
+
+// Implemented in the ops_*.cpp translation units.
+void register_pointwise_ops(OpRegistry&);
+void register_gemm_ops(OpRegistry&);
+void register_shape_ops(OpRegistry&);
+void register_conv_ops(OpRegistry&);
+void register_norm_pool_ops(OpRegistry&);
+void register_loss_ops(OpRegistry&);
+void register_embedding_ops(OpRegistry&);
+void register_creation_ops(OpRegistry&);
+void register_comm_ops(OpRegistry&);
+void register_custom_ops(OpRegistry&);
+
+void
+ensure_ops_registered()
+{
+    static std::once_flag flag;
+    std::call_once(flag, [] {
+        OpRegistry& reg = OpRegistry::instance();
+        register_pointwise_ops(reg);
+        register_gemm_ops(reg);
+        register_shape_ops(reg);
+        register_conv_ops(reg);
+        register_norm_pool_ops(reg);
+        register_loss_ops(reg);
+        register_embedding_ops(reg);
+        register_creation_ops(reg);
+        register_comm_ops(reg);
+        register_custom_ops(reg);
+    });
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,92 @@
+#pragma once
+
+/// @file
+/// Operator definitions and the global registry.
+///
+/// Every operator the framework can execute — ATen compute ops, c10d
+/// communication ops, and custom extension ops — is described by an OpDef
+/// carrying its PyTorch-style schema string, its category, its execution
+/// function, and optionally an autograd backward function.  The Mystique
+/// replayer reconstructs operators against this same registry (its
+/// *supported set* is a separate, narrower list; see core/reconstruction).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/kernel.h"
+#include "framework/ivalue.h"
+
+namespace mystique::fw {
+
+class Session;
+
+/// Executes an op: consumes schema-ordered inputs, returns outputs.
+/// Leaf ops launch kernels via Session::launch(); composite ops invoke child
+/// ops via Session::call(), which nests their ET nodes beneath the parent.
+using ExecFn = std::function<std::vector<IValue>(Session&, const std::vector<IValue>&)>;
+
+/// Saved state for backward: the forward inputs and outputs (by value —
+/// tensors are shared handles, matching "saved tensors" semantics).
+struct AutogradContext {
+    std::vector<IValue> inputs;
+    std::vector<IValue> outputs;
+    /// Per-input-position gradients for tensor-*list* inputs (e.g. aten::cat):
+    /// backward fns fill list_grads[position] with one grad per list element;
+    /// the engine routes them.  Mutable because BackwardFn receives a const
+    /// context (the saved values themselves must not change).
+    mutable std::vector<std::vector<Tensor>> list_grads;
+};
+
+/// Computes input gradients from output gradients.  Returns one Tensor per
+/// *forward input position*; undefined tensors mark non-differentiable slots.
+/// Implementations issue real ops through the session, so backward work is
+/// traced and timed exactly like forward work.
+using BackwardFn = std::function<std::vector<Tensor>(
+    Session&, const AutogradContext&, const std::vector<Tensor>& grad_outputs)>;
+
+/// One registered operator.
+struct OpDef {
+    std::string name;     ///< e.g. "aten::addmm"
+    std::string schema;   ///< full schema string (empty only for Fused)
+    dev::OpCategory category = dev::OpCategory::kATen;
+    ExecFn fn;
+    BackwardFn backward;  ///< empty → non-differentiable
+    /// Short name used for the autograd wrapper ("Addmm" → "AddmmBackward0").
+    std::string grad_name;
+    /// Host-side CPU cost beyond the platform dispatch constant (us).
+    double extra_cpu_us = 0.0;
+    /// Composite ops execute via child ops; selection keeps the parent (§4.2).
+    bool composite = false;
+};
+
+/// Process-wide operator registry.
+class OpRegistry {
+  public:
+    static OpRegistry& instance();
+
+    /// Registers an op; re-registration of the same name throws ConfigError.
+    void register_op(OpDef def);
+
+    /// Lookup; nullptr when unknown.
+    const OpDef* find(const std::string& name) const;
+
+    /// Lookup; throws ReplayError when unknown.
+    const OpDef& at(const std::string& name) const;
+
+    /// All registered names, sorted.
+    std::vector<std::string> names() const;
+
+    bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+  private:
+    OpRegistry() = default;
+    std::map<std::string, OpDef> ops_;
+};
+
+/// Idempotently registers all built-in operators (ATen, c10d, custom
+/// libraries).  Called by the Session constructor; safe to call directly.
+void ensure_ops_registered();
+
+} // namespace mystique::fw

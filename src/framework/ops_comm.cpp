@@ -1,0 +1,169 @@
+/// @file
+/// c10d communication operators (§4.3.2).
+///
+/// Each op resolves its process group from the session, rendezvouses with the
+/// other members through the shared fabric, and places a kernel of the agreed
+/// duration on the communication stream (20).  The host thread does not block
+/// (async collective semantics) — synchronization is carried by stream tails
+/// and tensor ready-times, which is how computation/communication overlap and
+/// exposed comm time arise in the traces.
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "framework/kernel_utils.h"
+#include "framework/op_registry.h"
+#include "framework/session.h"
+
+namespace mystique::fw {
+
+namespace {
+
+struct CollectiveSpec {
+    comm::CollectiveKind kind;
+    const char* short_name;
+};
+
+/// Shared body: rendezvous then place the kernel at the agreed start.
+Tensor
+run_collective(Session& s, const CollectiveSpec& spec, const Tensor& input,
+               const Tensor& output, int64_t pg_id)
+{
+    s.set_current_pg(pg_id);
+    const auto& pg = s.process_group(pg_id);
+    const double bytes = static_cast<double>(input.nbytes());
+    const sim::TimeUs arrival =
+        std::max({s.cpu_now(), input.ready_us(), s.device().stream_tail(dev::kCommStream)});
+    const comm::CollectiveResult res = pg->collective(spec.kind, bytes, arrival);
+    s.launch(comm_kernel(spec.short_name, bytes), dev::kCommStream, {input}, {output},
+             res.duration_us, res.start_us);
+    return output;
+}
+
+std::vector<IValue>
+all_reduce_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& t = in[0].tensor();
+    // In-place, as c10d::all_reduce mutates its buffer.
+    run_collective(s, {comm::CollectiveKind::kAllReduce, "all_reduce"}, t, t,
+                   in[1].to_int());
+    return {IValue(t)};
+}
+
+std::vector<IValue>
+all_to_all_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& t = in[0].tensor();
+    Tensor out = s.alloc(t.shape(), t.dtype());
+    run_collective(s, {comm::CollectiveKind::kAllToAll, "all_to_all"}, t, out,
+                   in[1].to_int());
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+all_gather_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& t = in[0].tensor();
+    const int64_t pg_id = in[1].to_int();
+    const auto& pg = s.process_group(pg_id);
+    Shape out_shape = t.shape();
+    out_shape.insert(out_shape.begin(), pg->size());
+    Tensor out = s.alloc(out_shape, t.dtype());
+    run_collective(s, {comm::CollectiveKind::kAllGather, "all_gather"}, t, out, pg_id);
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+reduce_scatter_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& t = in[0].tensor();
+    const int64_t pg_id = in[1].to_int();
+    const auto& pg = s.process_group(pg_id);
+    MYST_CHECK_MSG(t.numel() % pg->size() == 0, "reduce_scatter size not divisible");
+    Tensor out = s.alloc({t.numel() / pg->size()}, t.dtype());
+    run_collective(s, {comm::CollectiveKind::kReduceScatter, "reduce_scatter"}, t, out,
+                   pg_id);
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+broadcast_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& t = in[0].tensor();
+    run_collective(s, {comm::CollectiveKind::kBroadcast, "broadcast"}, t, t,
+                   in[2].to_int());
+    return {IValue(t)};
+}
+
+std::vector<IValue>
+barrier_fn(Session& s, const std::vector<IValue>& in)
+{
+    const int64_t pg_id = in[0].to_int();
+    s.set_current_pg(pg_id);
+    const auto& pg = s.process_group(pg_id);
+    const sim::TimeUs arrival =
+        std::max(s.cpu_now(), s.device().stream_tail(dev::kCommStream));
+    const comm::CollectiveResult res =
+        pg->collective(comm::CollectiveKind::kBarrier, 0.0, arrival);
+    // Barrier blocks the host until every rank has arrived.
+    s.cpu_advance(std::max(0.0, res.end_us - s.cpu_now()));
+    return {};
+}
+
+std::vector<IValue>
+send_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& t = in[0].tensor();
+    run_collective(s, {comm::CollectiveKind::kSend, "send"}, t, t, in[2].to_int());
+    return {IValue(t)};
+}
+
+std::vector<IValue>
+recv_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& t = in[0].tensor();
+    run_collective(s, {comm::CollectiveKind::kRecv, "recv"}, t, t, in[2].to_int());
+    return {IValue(t)};
+}
+
+} // namespace
+
+void
+register_comm_ops(OpRegistry& reg)
+{
+    const auto cat = dev::OpCategory::kComm;
+    reg.register_op({.name = "c10d::all_reduce",
+                     .schema = "c10d::all_reduce(Tensor tensor, int pg) -> Tensor",
+                     .category = cat,
+                     .fn = all_reduce_fn});
+    reg.register_op({.name = "c10d::all_to_all",
+                     .schema = "c10d::all_to_all(Tensor input, int pg) -> Tensor",
+                     .category = cat,
+                     .fn = all_to_all_fn});
+    reg.register_op({.name = "c10d::all_gather",
+                     .schema = "c10d::all_gather(Tensor input, int pg) -> Tensor",
+                     .category = cat,
+                     .fn = all_gather_fn});
+    reg.register_op({.name = "c10d::reduce_scatter",
+                     .schema = "c10d::reduce_scatter(Tensor input, int pg) -> Tensor",
+                     .category = cat,
+                     .fn = reduce_scatter_fn});
+    reg.register_op({.name = "c10d::broadcast",
+                     .schema = "c10d::broadcast(Tensor tensor, int src, int pg) -> Tensor",
+                     .category = cat,
+                     .fn = broadcast_fn});
+    reg.register_op({.name = "c10d::barrier",
+                     .schema = "c10d::barrier(int pg) -> ()",
+                     .category = cat,
+                     .fn = barrier_fn});
+    reg.register_op({.name = "c10d::send",
+                     .schema = "c10d::send(Tensor tensor, int dst, int pg) -> Tensor",
+                     .category = cat,
+                     .fn = send_fn});
+    reg.register_op({.name = "c10d::recv",
+                     .schema = "c10d::recv(Tensor tensor, int src, int pg) -> Tensor",
+                     .category = cat,
+                     .fn = recv_fn});
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,136 @@
+/// @file
+/// Convolution operators: composite aten::conv2d → leaf aten::convolution,
+/// plus aten::convolution_backward.
+
+#include "common/error.h"
+#include "framework/kernel_utils.h"
+#include "framework/math.h"
+#include "framework/op_registry.h"
+#include "framework/session.h"
+
+namespace mystique::fw {
+
+namespace {
+
+int64_t
+out_dim(int64_t in, int64_t k, int64_t stride, int64_t pad)
+{
+    return (in + 2 * pad - k) / stride + 1;
+}
+
+std::vector<IValue>
+convolution_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& input = in[0].tensor();
+    const Tensor& weight = in[1].tensor();
+    const Tensor bias = in[2].is_tensor() ? in[2].tensor() : Tensor();
+    const auto& stride = in[3].int_list();
+    const auto& padding = in[4].int_list();
+    MYST_CHECK_MSG(input.shape().size() == 4 && weight.shape().size() == 4,
+                   "convolution expects NCHW input and FCHW weight");
+    const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const int64_t f = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+    MYST_CHECK_MSG(weight.dim(1) == c, "convolution channel mismatch");
+    const int64_t st = stride.empty() ? 1 : stride[0];
+    const int64_t pad = padding.empty() ? 0 : padding[0];
+    const int64_t oh = out_dim(h, kh, st, pad);
+    const int64_t ow = out_dim(w, kw, st, pad);
+    MYST_CHECK_MSG(oh > 0 && ow > 0, "convolution output would be empty");
+
+    Tensor out = s.alloc({n, f, oh, ow});
+    if (s.numeric())
+        math::conv2d(input.f32(), weight.f32(), bias.defined() ? bias.f32() : nullptr,
+                     out.f32(), n, c, h, w, f, kh, kw, st, pad);
+
+    const double bytes =
+        4.0 * (static_cast<double>(input.numel()) + static_cast<double>(weight.numel()) +
+               static_cast<double>(out.numel()));
+    s.launch(conv_kernel("fprop", n, c, f, kh, kw, oh, ow, bytes), dev::kComputeStream,
+             {input, weight, bias}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+convolution_backward_route(Session& s, const AutogradContext& ctx,
+                           const std::vector<Tensor>& gouts)
+{
+    const Tensor& input = ctx.inputs[0].tensor();
+    const Tensor& weight = ctx.inputs[1].tensor();
+    auto outs = s.call("aten::convolution_backward",
+                       {IValue(gouts[0]), IValue(input), IValue(weight), ctx.inputs[3],
+                        ctx.inputs[4]});
+    Tensor gbias;
+    if (ctx.inputs[2].is_tensor() && ctx.inputs[2].tensor().requires_grad())
+        gbias = outs[2].tensor();
+    return {outs[0].tensor(), outs[1].tensor(), gbias, Tensor(), Tensor()};
+}
+
+std::vector<IValue>
+convolution_backward_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& grad_out = in[0].tensor();
+    const Tensor& input = in[1].tensor();
+    const Tensor& weight = in[2].tensor();
+    const auto& stride = in[3].int_list();
+    const auto& padding = in[4].int_list();
+    const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const int64_t f = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+    const int64_t st = stride.empty() ? 1 : stride[0];
+    const int64_t pad = padding.empty() ? 0 : padding[0];
+    const int64_t oh = out_dim(h, kh, st, pad);
+    const int64_t ow = out_dim(w, kw, st, pad);
+
+    Tensor grad_in = s.alloc(input.shape());
+    Tensor grad_w = s.alloc(weight.shape());
+    Tensor grad_b = s.alloc({f});
+    if (s.numeric())
+        math::conv2d_backward(grad_out.f32(), input.f32(), weight.f32(), grad_in.f32(),
+                              grad_w.f32(), grad_b.f32(), n, c, h, w, f, kh, kw, st, pad);
+
+    // dgrad + wgrad are each roughly the fprop cost; model as two kernels on
+    // the compute stream, as cuDNN does.
+    const double io_bytes =
+        4.0 * (static_cast<double>(input.numel()) + static_cast<double>(weight.numel()) +
+               static_cast<double>(grad_out.numel()));
+    s.launch(conv_kernel("dgrad", n, c, f, kh, kw, oh, ow, io_bytes), dev::kComputeStream,
+             {grad_out, weight}, {grad_in});
+    s.launch(conv_kernel("wgrad", n, c, f, kh, kw, oh, ow, io_bytes), dev::kComputeStream,
+             {grad_out, input}, {grad_w, grad_b});
+    return {IValue(grad_in), IValue(grad_w), IValue(grad_b)};
+}
+
+/// Composite wrapper, as in ATen: conv2d forwards to convolution.
+std::vector<IValue>
+conv2d_fn(Session& s, const std::vector<IValue>& in)
+{
+    Tensor out = s.call_t("aten::convolution", {in[0], in[1], in[2], in[3], in[4]});
+    return {IValue(out)};
+}
+
+} // namespace
+
+void
+register_conv_ops(OpRegistry& reg)
+{
+    reg.register_op(
+        {.name = "aten::conv2d",
+         .schema =
+             "aten::conv2d(Tensor input, Tensor weight, Tensor? bias=None, int[2] stride=1, "
+             "int[2] padding=0) -> Tensor",
+         .fn = conv2d_fn,
+         .composite = true});
+    reg.register_op(
+        {.name = "aten::convolution",
+         .schema = "aten::convolution(Tensor input, Tensor weight, Tensor? bias, "
+                   "int[] stride, int[] padding) -> Tensor",
+         .fn = convolution_fn,
+         .backward = convolution_backward_route,
+         .grad_name = "Convolution"});
+    reg.register_op(
+        {.name = "aten::convolution_backward",
+         .schema = "aten::convolution_backward(Tensor grad_output, Tensor input, "
+                   "Tensor weight, int[] stride, int[] padding) -> (Tensor, Tensor, Tensor)",
+         .fn = convolution_backward_fn});
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,113 @@
+/// @file
+/// Tensor creation and memory-movement operators.
+///
+/// aten::to models the host→device input transfer on the dedicated memcpy
+/// stream (22), as in the paper's profiler screenshots.
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "framework/kernel_utils.h"
+#include "framework/math.h"
+#include "framework/op_registry.h"
+#include "framework/session.h"
+
+namespace mystique::fw {
+
+namespace {
+
+std::vector<IValue>
+ones_like_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    Tensor out = s.alloc(a.shape(), a.dtype());
+    if (s.numeric() && a.dtype() == DType::kFloat32)
+        std::fill(out.f32(), out.f32() + out.numel(), 1.0f);
+    s.launch(pointwise_kernel("fill", a.numel(), 0), dev::kComputeStream, {}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+zeros_like_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    Tensor out = s.alloc(a.shape(), a.dtype());
+    // alloc zero-fills; model the memset kernel.
+    s.launch(pointwise_kernel("fill", a.numel(), 0), dev::kComputeStream, {}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+zeros_fn(Session& s, const std::vector<IValue>& in)
+{
+    Tensor out = s.alloc(in[0].int_list());
+    s.launch(pointwise_kernel("fill", out.numel(), 0), dev::kComputeStream, {}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+randn_fn(Session& s, const std::vector<IValue>& in)
+{
+    Tensor out = s.alloc(in[0].int_list());
+    if (s.numeric())
+        math::randn(out.f32(), out.numel(), s.rng());
+    s.launch(pointwise_kernel("philox_randn", out.numel(), 0, 8.0), dev::kComputeStream,
+             {}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+to_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const std::string& device = in[1].str();
+    Tensor out = s.alloc(a.shape(), a.dtype(), /*force_materialize=*/a.materialized());
+    out.impl()->device = device;
+    if (a.materialized() && out.materialized() && a.nbytes() > 0)
+        std::memcpy(out.impl()->storage->data(), a.impl()->storage->data(),
+                    static_cast<std::size_t>(a.nbytes()));
+    s.launch(memcpy_kernel(a.nbytes()), dev::kMemcpyStream, {a}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+copy_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& dst = in[0].tensor();
+    const Tensor& src = in[1].tensor();
+    MYST_CHECK_MSG(dst.numel() == src.numel(), "copy_ numel mismatch");
+    Tensor dst_mut = dst;
+    if (dst.materialized() && src.materialized() && src.nbytes() > 0)
+        std::memcpy(dst_mut.impl()->storage->data(), src.impl()->storage->data(),
+                    static_cast<std::size_t>(src.nbytes()));
+    s.launch(memcpy_kernel(src.nbytes()), dev::kMemcpyStream, {src}, {dst_mut});
+    return {IValue(dst_mut)};
+}
+
+} // namespace
+
+void
+register_creation_ops(OpRegistry& reg)
+{
+    reg.register_op({.name = "aten::ones_like",
+                     .schema = "aten::ones_like(Tensor self) -> Tensor",
+                     .fn = ones_like_fn});
+    reg.register_op({.name = "aten::zeros_like",
+                     .schema = "aten::zeros_like(Tensor self) -> Tensor",
+                     .fn = zeros_like_fn});
+    reg.register_op({.name = "aten::zeros",
+                     .schema = "aten::zeros(int[] size) -> Tensor",
+                     .fn = zeros_fn});
+    reg.register_op({.name = "aten::randn",
+                     .schema = "aten::randn(int[] size) -> Tensor",
+                     .fn = randn_fn});
+    reg.register_op({.name = "aten::to.device",
+                     .schema = "aten::to.device(Tensor self, str device) -> Tensor",
+                     .fn = to_fn});
+    reg.register_op({.name = "aten::copy_",
+                     .schema = "aten::copy_(Tensor(a!) self, Tensor src) -> Tensor(a!)",
+                     .fn = copy_fn});
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,180 @@
+/// @file
+/// GEMM-family ATen operators, including the composite aten::linear whose
+/// children (aten::t, aten::addmm / aten::mm) illustrate the paper's §4.2
+/// redundant-operator selection.
+
+#include "common/error.h"
+#include "framework/kernel_utils.h"
+#include "framework/math.h"
+#include "framework/op_registry.h"
+#include "framework/session.h"
+
+namespace mystique::fw {
+
+namespace {
+
+std::vector<IValue>
+mm_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const Tensor& b = in[1].tensor();
+    MYST_CHECK_MSG(a.shape().size() == 2 && b.shape().size() == 2 && a.dim(1) == b.dim(0),
+                   "mm shape mismatch: " << shape_str(a.shape()) << " @ "
+                                         << shape_str(b.shape()));
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor out = s.alloc({m, n});
+    if (s.numeric())
+        math::gemm(a.f32(), b.f32(), out.f32(), m, k, n);
+    s.launch(gemm_kernel(m, k, n), dev::kComputeStream, {a, b}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+mm_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    const Tensor& go = gouts[0];
+    const Tensor& a = ctx.inputs[0].tensor();
+    const Tensor& b = ctx.inputs[1].tensor();
+    Tensor ga, gb;
+    if (a.requires_grad()) {
+        Tensor bt = s.call_t("aten::t", {IValue(b)});
+        ga = s.call_t("aten::mm", {IValue(go), IValue(bt)});
+    }
+    if (b.requires_grad()) {
+        Tensor at = s.call_t("aten::t", {IValue(a)});
+        gb = s.call_t("aten::mm", {IValue(at), IValue(go)});
+    }
+    return {ga, gb};
+}
+
+std::vector<IValue>
+addmm_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& bias = in[0].tensor();
+    const Tensor& a = in[1].tensor();
+    const Tensor& b = in[2].tensor();
+    MYST_CHECK_MSG(a.shape().size() == 2 && b.shape().size() == 2 && a.dim(1) == b.dim(0),
+                   "addmm shape mismatch");
+    const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    const float beta = static_cast<float>(in[3].to_double());
+    const float alpha = static_cast<float>(in[4].to_double());
+    Tensor out = s.alloc({m, n});
+    if (s.numeric()) {
+        // Seed the output with beta * bias (row-broadcast), then GEMM.
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j)
+                out.f32()[i * n + j] = beta * bias.f32()[bias.numel() == n ? j : i * n + j];
+        math::gemm(a.f32(), b.f32(), out.f32(), m, k, n, alpha, 1.0f);
+    }
+    s.launch(gemm_kernel(m, k, n), dev::kComputeStream, {bias, a, b}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+addmm_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    const Tensor& go = gouts[0];
+    const Tensor& bias = ctx.inputs[0].tensor();
+    const Tensor& a = ctx.inputs[1].tensor();
+    const Tensor& b = ctx.inputs[2].tensor();
+    Tensor gbias, ga, gb;
+    if (bias.requires_grad()) {
+        if (bias.numel() == go.numel()) {
+            gbias = go;
+        } else {
+            gbias = s.call_t("aten::sum.dim_IntList",
+                             {IValue(go), IValue(std::vector<int64_t>{0}), IValue(false)});
+        }
+    }
+    if (a.requires_grad()) {
+        Tensor bt = s.call_t("aten::t", {IValue(b)});
+        ga = s.call_t("aten::mm", {IValue(go), IValue(bt)});
+    }
+    if (b.requires_grad()) {
+        Tensor at = s.call_t("aten::t", {IValue(a)});
+        gb = s.call_t("aten::mm", {IValue(at), IValue(go)});
+    }
+    return {gbias, ga, gb, Tensor(), Tensor()};
+}
+
+std::vector<IValue>
+bmm_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const Tensor& b = in[1].tensor();
+    MYST_CHECK_MSG(a.shape().size() == 3 && b.shape().size() == 3 && a.dim(0) == b.dim(0) &&
+                       a.dim(2) == b.dim(1),
+                   "bmm shape mismatch");
+    const int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+    Tensor out = s.alloc({batch, m, n});
+    if (s.numeric())
+        math::bmm(a.f32(), b.f32(), out.f32(), batch, m, k, n);
+    s.launch(gemm_kernel(m, k, n, batch), dev::kComputeStream, {a, b}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+bmm_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    const Tensor& go = gouts[0];
+    const Tensor& a = ctx.inputs[0].tensor();
+    const Tensor& b = ctx.inputs[1].tensor();
+    Tensor ga, gb;
+    if (a.requires_grad()) {
+        Tensor bt = s.call_t("aten::transpose.int", {IValue(b), IValue(1), IValue(2)});
+        ga = s.call_t("aten::bmm", {IValue(go), IValue(bt)});
+    }
+    if (b.requires_grad()) {
+        Tensor at = s.call_t("aten::transpose.int", {IValue(a), IValue(1), IValue(2)});
+        gb = s.call_t("aten::bmm", {IValue(at), IValue(go)});
+    }
+    return {ga, gb};
+}
+
+/// Composite: replays as the parent; children aten::t + aten::addmm/aten::mm
+/// are recorded beneath it in the ET (§4.2).
+std::vector<IValue>
+linear_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& input = in[0].tensor();
+    const Tensor& weight = in[1].tensor();
+    Tensor wt = s.call_t("aten::t", {IValue(weight)});
+    if (in.size() > 2 && in[2].is_tensor()) {
+        Tensor out = s.call_t("aten::addmm", {in[2], IValue(input), IValue(wt), IValue(1.0),
+                                              IValue(1.0)});
+        return {IValue(out)};
+    }
+    Tensor out = s.call_t("aten::mm", {IValue(input), IValue(wt)});
+    return {IValue(out)};
+}
+
+} // namespace
+
+void
+register_gemm_ops(OpRegistry& reg)
+{
+    reg.register_op({.name = "aten::mm",
+                     .schema = "aten::mm(Tensor self, Tensor mat2) -> Tensor",
+                     .fn = mm_fn,
+                     .backward = mm_backward,
+                     .grad_name = "Mm"});
+    reg.register_op(
+        {.name = "aten::addmm",
+         .schema =
+             "aten::addmm(Tensor self, Tensor mat1, Tensor mat2, *, Scalar beta=1, Scalar alpha=1) -> Tensor",
+         .fn = addmm_fn,
+         .backward = addmm_backward,
+         .grad_name = "Addmm"});
+    reg.register_op({.name = "aten::bmm",
+                     .schema = "aten::bmm(Tensor self, Tensor mat2) -> Tensor",
+                     .fn = bmm_fn,
+                     .backward = bmm_backward,
+                     .grad_name = "Bmm"});
+    reg.register_op(
+        {.name = "aten::linear",
+         .schema = "aten::linear(Tensor input, Tensor weight, Tensor? bias=None) -> Tensor",
+         .fn = linear_fn,
+         .composite = true});
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,188 @@
+/// @file
+/// Softmax and loss operators.
+
+#include "common/error.h"
+#include "framework/kernel_utils.h"
+#include "framework/math.h"
+#include "framework/op_registry.h"
+#include "framework/session.h"
+
+namespace mystique::fw {
+
+namespace {
+
+std::pair<int64_t, int64_t>
+rows_cols(const Tensor& t)
+{
+    MYST_CHECK_MSG(!t.shape().empty(), "softmax on rank-0 tensor");
+    const int64_t cols = t.shape().back();
+    return {t.numel() / cols, cols};
+}
+
+std::vector<IValue>
+softmax_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const auto [rows, cols] = rows_cols(a);
+    Tensor out = s.alloc(a.shape());
+    if (s.numeric())
+        math::softmax(a.f32(), out.f32(), rows, cols);
+    s.launch(softmax_kernel("softmax", a.numel()), dev::kComputeStream, {a}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+log_softmax_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const auto [rows, cols] = rows_cols(a);
+    Tensor out = s.alloc(a.shape());
+    if (s.numeric())
+        math::log_softmax(a.f32(), out.f32(), rows, cols);
+    s.launch(softmax_kernel("log_softmax", a.numel()), dev::kComputeStream, {a}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+log_softmax_backward_route(Session& s, const AutogradContext& ctx,
+                           const std::vector<Tensor>& gouts)
+{
+    Tensor ga = s.call_t("aten::_log_softmax_backward_data",
+                         {IValue(gouts[0]), IValue(ctx.outputs[0].tensor()), ctx.inputs[1]});
+    return {ga, Tensor()};
+}
+
+std::vector<IValue>
+log_softmax_backward_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& g = in[0].tensor();
+    const Tensor& out_fwd = in[1].tensor();
+    const auto [rows, cols] = rows_cols(g);
+    Tensor out = s.alloc(g.shape());
+    if (s.numeric())
+        math::log_softmax_backward(g.f32(), out_fwd.f32(), out.f32(), rows, cols);
+    s.launch(softmax_kernel("log_softmax_bwd", g.numel()), dev::kComputeStream,
+             {g, out_fwd}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+nll_loss_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& logp = in[0].tensor();
+    const Tensor& target = in[1].tensor();
+    const auto [rows, cols] = rows_cols(logp);
+    MYST_CHECK_MSG(target.numel() == rows, "nll_loss target size mismatch");
+    Tensor out = s.alloc({1});
+    if (s.numeric())
+        out.f32()[0] = static_cast<float>(math::nll_loss(logp.f32(), target.i64(), rows, cols));
+    s.launch(loss_kernel("nll_loss", logp.numel()), dev::kComputeStream, {logp, target},
+             {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+nll_loss_backward_route(Session& s, const AutogradContext& ctx,
+                        const std::vector<Tensor>& gouts)
+{
+    Tensor ga = s.call_t("aten::nll_loss_backward",
+                         {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1]});
+    return {ga, Tensor()};
+}
+
+std::vector<IValue>
+nll_loss_backward_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& g = in[0].tensor();
+    const Tensor& logp = in[1].tensor();
+    const Tensor& target = in[2].tensor();
+    const auto [rows, cols] = rows_cols(logp);
+    Tensor out = s.alloc(logp.shape());
+    if (s.numeric())
+        math::nll_loss_backward(g.f32()[0], target.i64(), out.f32(), rows, cols);
+    s.launch(loss_kernel("nll_loss_bwd", logp.numel()), dev::kComputeStream, {g, target},
+             {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+bce_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& logits = in[0].tensor();
+    const Tensor& target = in[1].tensor();
+    MYST_CHECK_MSG(logits.numel() == target.numel(), "bce target size mismatch");
+    Tensor out = s.alloc({1});
+    if (s.numeric())
+        out.f32()[0] =
+            static_cast<float>(math::bce_with_logits(logits.f32(), target.f32(), logits.numel()));
+    s.launch(loss_kernel("bce_with_logits", logits.numel()), dev::kComputeStream,
+             {logits, target}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+bce_backward_route(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    Tensor ga = s.call_t("aten::binary_cross_entropy_with_logits_backward",
+                         {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1]});
+    return {ga, Tensor()};
+}
+
+std::vector<IValue>
+bce_backward_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& g = in[0].tensor();
+    const Tensor& logits = in[1].tensor();
+    const Tensor& target = in[2].tensor();
+    Tensor out = s.alloc(logits.shape());
+    if (s.numeric())
+        math::bce_with_logits_backward(g.f32()[0], logits.f32(), target.f32(), out.f32(),
+                                       logits.numel());
+    s.launch(loss_kernel("bce_with_logits_bwd", logits.numel()), dev::kComputeStream,
+             {g, logits, target}, {out});
+    return {IValue(out)};
+}
+
+} // namespace
+
+void
+register_loss_ops(OpRegistry& reg)
+{
+    reg.register_op({.name = "aten::softmax.int",
+                     .schema = "aten::softmax.int(Tensor self, int dim) -> Tensor",
+                     .fn = softmax_fn});
+    reg.register_op({.name = "aten::log_softmax.int",
+                     .schema = "aten::log_softmax.int(Tensor self, int dim) -> Tensor",
+                     .fn = log_softmax_fn,
+                     .backward = log_softmax_backward_route,
+                     .grad_name = "LogSoftmax"});
+    reg.register_op(
+        {.name = "aten::_log_softmax_backward_data",
+         .schema = "aten::_log_softmax_backward_data(Tensor grad_output, Tensor output, "
+                   "int dim) -> Tensor",
+         .fn = log_softmax_backward_fn});
+    reg.register_op({.name = "aten::nll_loss",
+                     .schema = "aten::nll_loss(Tensor self, Tensor target) -> Tensor",
+                     .fn = nll_loss_fn,
+                     .backward = nll_loss_backward_route,
+                     .grad_name = "NllLoss"});
+    reg.register_op(
+        {.name = "aten::nll_loss_backward",
+         .schema =
+             "aten::nll_loss_backward(Tensor grad_output, Tensor self, Tensor target) -> Tensor",
+         .fn = nll_loss_backward_fn});
+    reg.register_op(
+        {.name = "aten::binary_cross_entropy_with_logits",
+         .schema =
+             "aten::binary_cross_entropy_with_logits(Tensor self, Tensor target) -> Tensor",
+         .fn = bce_fn,
+         .backward = bce_backward_route,
+         .grad_name = "BinaryCrossEntropyWithLogits"});
+    reg.register_op(
+        {.name = "aten::binary_cross_entropy_with_logits_backward",
+         .schema = "aten::binary_cross_entropy_with_logits_backward(Tensor grad_output, "
+                   "Tensor self, Tensor target) -> Tensor",
+         .fn = bce_backward_fn});
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,411 @@
+/// @file
+/// View, movement and reduction operators.
+///
+/// View ops (t, transpose, reshape) launch no kernels — they are free on
+/// device, as in real traces — but in numeric mode their data is eagerly
+/// normalized to contiguous layout (see tensor.h).
+
+#include <cstring>
+
+#include "common/error.h"
+#include "framework/kernel_utils.h"
+#include "framework/math.h"
+#include "framework/op_registry.h"
+#include "framework/session.h"
+
+namespace mystique::fw {
+
+namespace {
+
+/// Generic dim-swap copy for any rank.
+void
+transpose_copy(const float* in, float* out, const Shape& shape, int64_t d0, int64_t d1)
+{
+    const auto rank = static_cast<int64_t>(shape.size());
+    Shape out_shape = shape;
+    std::swap(out_shape[static_cast<std::size_t>(d0)], out_shape[static_cast<std::size_t>(d1)]);
+    std::vector<int64_t> in_strides(static_cast<std::size_t>(rank), 1);
+    for (int64_t i = rank - 2; i >= 0; --i)
+        in_strides[static_cast<std::size_t>(i)] =
+            in_strides[static_cast<std::size_t>(i + 1)] * shape[static_cast<std::size_t>(i + 1)];
+    std::vector<int64_t> perm_strides(static_cast<std::size_t>(rank));
+    for (int64_t i = 0; i < rank; ++i)
+        perm_strides[static_cast<std::size_t>(i)] = in_strides[static_cast<std::size_t>(i)];
+    std::swap(perm_strides[static_cast<std::size_t>(d0)],
+              perm_strides[static_cast<std::size_t>(d1)]);
+
+    const int64_t total = shape_numel(shape);
+    std::vector<int64_t> idx(static_cast<std::size_t>(rank), 0);
+    for (int64_t flat = 0; flat < total; ++flat) {
+        int64_t src = 0;
+        for (int64_t i = 0; i < rank; ++i)
+            src += idx[static_cast<std::size_t>(i)] * perm_strides[static_cast<std::size_t>(i)];
+        out[flat] = in[src];
+        for (int64_t i = rank - 1; i >= 0; --i) {
+            if (++idx[static_cast<std::size_t>(i)] < out_shape[static_cast<std::size_t>(i)])
+                break;
+            idx[static_cast<std::size_t>(i)] = 0;
+        }
+    }
+}
+
+Tensor
+make_transposed(Session& s, const Tensor& a, int64_t d0, int64_t d1)
+{
+    Shape out_shape = a.shape();
+    std::swap(out_shape[static_cast<std::size_t>(d0)], out_shape[static_cast<std::size_t>(d1)]);
+    // Views share storage (same storage ID in the ET) and launch no kernel.
+    Tensor out = a.view_as(a.shape());
+    if (s.numeric()) {
+        // Numeric simplification (see tensor.h): eagerly normalize the data
+        // to contiguous layout so downstream math stays stride-free.
+        Tensor copy = s.alloc(out_shape);
+        transpose_copy(a.f32(), copy.f32(), a.shape(), d0, d1);
+        out.impl()->storage = copy.impl()->storage;
+    }
+    out.impl()->shape = out_shape;
+    out.set_ready_us(a.ready_us());
+    return out;
+}
+
+std::vector<IValue>
+t_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    MYST_CHECK_MSG(a.shape().size() == 2, "aten::t requires a 2D tensor");
+    return {IValue(make_transposed(s, a, 0, 1))};
+}
+
+std::vector<IValue>
+transpose_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const int64_t d0 = in[1].to_int();
+    const int64_t d1 = in[2].to_int();
+    const auto rank = static_cast<int64_t>(a.shape().size());
+    MYST_CHECK_MSG(d0 >= 0 && d0 < rank && d1 >= 0 && d1 < rank, "transpose dims invalid");
+    return {IValue(make_transposed(s, a, d0, d1))};
+}
+
+std::vector<IValue>
+reshape_fn(Session& s, const std::vector<IValue>& in)
+{
+    (void)s;
+    const Tensor& a = in[0].tensor();
+    Shape shape = in[1].int_list();
+    // Support a single -1 wildcard.
+    int64_t known = 1;
+    int64_t wild = -1;
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (shape[i] == -1) {
+            MYST_CHECK_MSG(wild < 0, "reshape: multiple -1 dims");
+            wild = static_cast<int64_t>(i);
+        } else {
+            known *= shape[i];
+        }
+    }
+    if (wild >= 0)
+        shape[static_cast<std::size_t>(wild)] = a.numel() / known;
+    return {IValue(a.view_as(std::move(shape)))};
+}
+
+std::vector<IValue>
+cat_fn(Session& s, const std::vector<IValue>& in)
+{
+    const std::vector<Tensor>& ts = in[0].tensor_list();
+    const int64_t dim = in[1].to_int();
+    MYST_CHECK_MSG(!ts.empty(), "cat of zero tensors");
+    const Shape& first = ts[0].shape();
+    const auto rank = static_cast<int64_t>(first.size());
+    MYST_CHECK_MSG(dim >= 0 && dim < rank, "cat dim out of range");
+
+    Shape out_shape = first;
+    int64_t cat_dim_total = 0;
+    int64_t total_numel = 0;
+    for (const auto& t : ts) {
+        cat_dim_total += t.dim(static_cast<std::size_t>(dim));
+        total_numel += t.numel();
+    }
+    out_shape[static_cast<std::size_t>(dim)] = cat_dim_total;
+    Tensor out = s.alloc(out_shape);
+
+    if (s.numeric()) {
+        // outer = product of dims before `dim`; inner = product after.
+        int64_t outer = 1, inner = 1;
+        for (int64_t i = 0; i < dim; ++i)
+            outer *= first[static_cast<std::size_t>(i)];
+        for (int64_t i = dim + 1; i < rank; ++i)
+            inner *= first[static_cast<std::size_t>(i)];
+        int64_t dst_off = 0;
+        for (const auto& t : ts) {
+            const int64_t td = t.dim(static_cast<std::size_t>(dim));
+            for (int64_t o = 0; o < outer; ++o) {
+                std::memcpy(out.f32() + (o * cat_dim_total + dst_off) * inner,
+                            t.f32() + o * td * inner,
+                            static_cast<std::size_t>(td * inner) * sizeof(float));
+            }
+            dst_off += td;
+        }
+    }
+    std::vector<Tensor> input_tensors = ts;
+    s.launch(pointwise_kernel("cat", total_numel, static_cast<int>(ts.size())),
+             dev::kComputeStream, input_tensors, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+cat_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    const std::vector<Tensor>& ts = ctx.inputs[0].tensor_list();
+    const int64_t dim = ctx.inputs[1].to_int();
+    const Tensor& go = gouts[0];
+    // Each input's grad is a narrow of the output grad; routed to the list
+    // elements through ctx.list_grads (see AutogradContext).
+    std::vector<Tensor> pieces;
+    int64_t start = 0;
+    for (const auto& t : ts) {
+        const int64_t len = t.dim(static_cast<std::size_t>(dim));
+        pieces.push_back(s.call_t(
+            "aten::narrow", {IValue(go), IValue(dim), IValue(start), IValue(len)}));
+        start += len;
+    }
+    ctx.list_grads.assign(ctx.inputs.size(), {});
+    ctx.list_grads[0] = std::move(pieces);
+    return {Tensor(), Tensor()};
+}
+
+std::vector<IValue>
+narrow_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const int64_t dim = in[1].to_int();
+    const int64_t start = in[2].to_int();
+    const int64_t length = in[3].to_int();
+    const auto rank = static_cast<int64_t>(a.shape().size());
+    MYST_CHECK_MSG(dim >= 0 && dim < rank, "narrow dim out of range");
+    MYST_CHECK_MSG(start >= 0 && start + length <= a.dim(static_cast<std::size_t>(dim)),
+                   "narrow range invalid");
+    Shape out_shape = a.shape();
+    out_shape[static_cast<std::size_t>(dim)] = length;
+    Tensor out = s.alloc(out_shape);
+    if (s.numeric()) {
+        int64_t outer = 1, inner = 1;
+        for (int64_t i = 0; i < dim; ++i)
+            outer *= a.dim(static_cast<std::size_t>(i));
+        for (int64_t i = dim + 1; i < rank; ++i)
+            inner *= a.dim(static_cast<std::size_t>(i));
+        const int64_t src_d = a.dim(static_cast<std::size_t>(dim));
+        for (int64_t o = 0; o < outer; ++o) {
+            std::memcpy(out.f32() + o * length * inner,
+                        a.f32() + (o * src_d + start) * inner,
+                        static_cast<std::size_t>(length * inner) * sizeof(float));
+        }
+    }
+    s.launch(pointwise_kernel("slice", shape_numel(out_shape), 1), dev::kComputeStream,
+             {a}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+narrow_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    const Tensor& a = ctx.inputs[0].tensor();
+    Tensor ga = s.call_t("aten::slice_backward",
+                         {IValue(gouts[0]), IValue(std::vector<int64_t>(a.shape())),
+                          ctx.inputs[1], ctx.inputs[2], ctx.inputs[3]});
+    return {ga, Tensor(), Tensor(), Tensor()};
+}
+
+std::vector<IValue>
+slice_backward_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& g = in[0].tensor();
+    const Shape input_shape = in[1].int_list();
+    const int64_t dim = in[2].to_int();
+    const int64_t start = in[3].to_int();
+    const int64_t length = in[4].to_int();
+    Tensor out = s.alloc(input_shape);
+    if (s.numeric()) {
+        std::fill(out.f32(), out.f32() + out.numel(), 0.0f);
+        const auto rank = static_cast<int64_t>(input_shape.size());
+        int64_t outer = 1, inner = 1;
+        for (int64_t i = 0; i < dim; ++i)
+            outer *= input_shape[static_cast<std::size_t>(i)];
+        for (int64_t i = dim + 1; i < rank; ++i)
+            inner *= input_shape[static_cast<std::size_t>(i)];
+        const int64_t full_d = input_shape[static_cast<std::size_t>(dim)];
+        for (int64_t o = 0; o < outer; ++o)
+            std::memcpy(out.f32() + (o * full_d + start) * inner,
+                        g.f32() + o * length * inner,
+                        static_cast<std::size_t>(length * inner) * sizeof(float));
+    }
+    s.launch(pointwise_kernel("slice_bwd", shape_numel(input_shape), 1),
+             dev::kComputeStream, {g}, {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+sum_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    Tensor out = s.alloc({1});
+    if (s.numeric())
+        out.f32()[0] = static_cast<float>(math::sum(a.f32(), a.numel()));
+    s.launch(reduction_kernel("sum", a.numel(), 1), dev::kComputeStream, {a}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+sum_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    const Tensor& a = ctx.inputs[0].tensor();
+    Tensor ones = s.call_t("aten::ones_like", {IValue(a)});
+    Tensor ga = s.call_t("aten::mul.Tensor", {IValue(ones), IValue(gouts[0])});
+    return {ga};
+}
+
+std::vector<IValue>
+sum_dim_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    const auto& dims = in[1].int_list();
+    const bool keepdim = in[2].to_bool();
+    MYST_CHECK_MSG(dims.size() == 1, "sum.dim_IntList supports a single dim");
+    const int64_t dim = dims[0];
+    const auto rank = static_cast<int64_t>(a.shape().size());
+    MYST_CHECK_MSG(dim >= 0 && dim < rank, "sum dim out of range");
+
+    Shape out_shape;
+    for (int64_t i = 0; i < rank; ++i) {
+        if (i == dim) {
+            if (keepdim)
+                out_shape.push_back(1);
+        } else {
+            out_shape.push_back(a.dim(static_cast<std::size_t>(i)));
+        }
+    }
+    if (out_shape.empty())
+        out_shape.push_back(1);
+    Tensor out = s.alloc(out_shape);
+    if (s.numeric()) {
+        int64_t outer = 1, inner = 1;
+        const int64_t d = a.dim(static_cast<std::size_t>(dim));
+        for (int64_t i = 0; i < dim; ++i)
+            outer *= a.dim(static_cast<std::size_t>(i));
+        for (int64_t i = dim + 1; i < rank; ++i)
+            inner *= a.dim(static_cast<std::size_t>(i));
+        float* op = out.f32();
+        std::fill(op, op + out.numel(), 0.0f);
+        for (int64_t o = 0; o < outer; ++o)
+            for (int64_t j = 0; j < d; ++j)
+                for (int64_t i = 0; i < inner; ++i)
+                    op[o * inner + i] += a.f32()[(o * d + j) * inner + i];
+    }
+    s.launch(reduction_kernel("sum_dim", a.numel(), out.numel()), dev::kComputeStream, {a},
+             {out});
+    return {IValue(out)};
+}
+
+std::vector<IValue>
+mean_fn(Session& s, const std::vector<IValue>& in)
+{
+    const Tensor& a = in[0].tensor();
+    Tensor out = s.alloc({1});
+    if (s.numeric())
+        out.f32()[0] =
+            static_cast<float>(math::sum(a.f32(), a.numel()) / static_cast<double>(a.numel()));
+    s.launch(reduction_kernel("mean", a.numel(), 1), dev::kComputeStream, {a}, {out});
+    return {IValue(out)};
+}
+
+std::vector<Tensor>
+mean_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
+{
+    const Tensor& a = ctx.inputs[0].tensor();
+    Tensor ones = s.call_t("aten::ones_like", {IValue(a)});
+    Tensor g = s.call_t("aten::mul.Tensor", {IValue(ones), IValue(gouts[0])});
+    Tensor ga = s.call_t("aten::mul.Scalar",
+                         {IValue(g), IValue(1.0 / static_cast<double>(a.numel()))});
+    return {ga};
+}
+
+std::vector<Tensor>
+view_backward_t(Session& s, const AutogradContext&, const std::vector<Tensor>& gouts)
+{
+    return {s.call_t("aten::t", {IValue(gouts[0])})};
+}
+
+std::vector<Tensor>
+view_backward_transpose(Session& s, const AutogradContext& ctx,
+                        const std::vector<Tensor>& gouts)
+{
+    return {s.call_t("aten::transpose.int",
+                     {IValue(gouts[0]), ctx.inputs[1], ctx.inputs[2]}),
+            Tensor(), Tensor()};
+}
+
+std::vector<Tensor>
+view_backward_reshape(Session& s, const AutogradContext& ctx,
+                      const std::vector<Tensor>& gouts)
+{
+    const Shape& orig = ctx.inputs[0].tensor().shape();
+    return {s.call_t("aten::reshape",
+                     {IValue(gouts[0]), IValue(std::vector<int64_t>(orig))}),
+            Tensor()};
+}
+
+} // namespace
+
+void
+register_shape_ops(OpRegistry& reg)
+{
+    reg.register_op({.name = "aten::t",
+                     .schema = "aten::t(Tensor(a) self) -> Tensor(a)",
+                     .fn = t_fn,
+                     .backward = view_backward_t,
+                     .grad_name = "T"});
+    reg.register_op(
+        {.name = "aten::transpose.int",
+         .schema = "aten::transpose.int(Tensor(a) self, int dim0, int dim1) -> Tensor(a)",
+         .fn = transpose_fn,
+         .backward = view_backward_transpose,
+         .grad_name = "Transpose"});
+    reg.register_op({.name = "aten::reshape",
+                     .schema = "aten::reshape(Tensor(a) self, int[] shape) -> Tensor(a)",
+                     .fn = reshape_fn,
+                     .backward = view_backward_reshape,
+                     .grad_name = "Reshape"});
+    reg.register_op({.name = "aten::cat",
+                     .schema = "aten::cat(Tensor[] tensors, int dim=0) -> Tensor",
+                     .fn = cat_fn,
+                     .backward = cat_backward,
+                     .grad_name = "Cat"});
+    reg.register_op(
+        {.name = "aten::narrow",
+         .schema = "aten::narrow(Tensor self, int dim, int start, int length) -> Tensor",
+         .fn = narrow_fn,
+         .backward = narrow_backward,
+         .grad_name = "Slice"});
+    reg.register_op(
+        {.name = "aten::slice_backward",
+         .schema = "aten::slice_backward(Tensor grad_output, int[] input_sizes, int dim, "
+                   "int start, int length) -> Tensor",
+         .fn = slice_backward_fn});
+    reg.register_op({.name = "aten::sum",
+                     .schema = "aten::sum(Tensor self) -> Tensor",
+                     .fn = sum_fn,
+                     .backward = sum_backward,
+                     .grad_name = "Sum"});
+    reg.register_op(
+        {.name = "aten::sum.dim_IntList",
+         .schema =
+             "aten::sum.dim_IntList(Tensor self, int[1] dim, bool keepdim=False) -> Tensor",
+         .fn = sum_dim_fn});
+    reg.register_op({.name = "aten::mean",
+                     .schema = "aten::mean(Tensor self) -> Tensor",
+                     .fn = mean_fn,
+                     .backward = mean_backward,
+                     .grad_name = "Mean"});
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,179 @@
+#include "framework/tensor.h"
+
+#include <atomic>
+
+#include "common/error.h"
+
+namespace mystique::fw {
+
+namespace {
+
+int64_t
+next_storage_id()
+{
+    static std::atomic<int64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+Storage::Storage(int64_t nbytes, bool materialize_now) : id_(next_storage_id()), nbytes_(nbytes)
+{
+    MYST_CHECK_MSG(nbytes >= 0, "negative storage size");
+    if (materialize_now)
+        materialize();
+}
+
+void
+Storage::materialize()
+{
+    if (data_.empty() && nbytes_ > 0)
+        data_.assign(static_cast<std::size_t>(nbytes_), std::byte{0});
+}
+
+std::byte*
+Storage::data()
+{
+    MYST_CHECK_MSG(materialized() || nbytes_ == 0, "storage not materialized");
+    return data_.data();
+}
+
+const std::byte*
+Storage::data() const
+{
+    MYST_CHECK_MSG(materialized() || nbytes_ == 0, "storage not materialized");
+    return data_.data();
+}
+
+Tensor
+Tensor::create(Shape shape, DType dtype, bool materialize)
+{
+    auto impl = std::make_shared<TensorImpl>();
+    const int64_t bytes = shape_numel(shape) * dtype_size(dtype);
+    impl->shape = std::move(shape);
+    impl->dtype = dtype;
+    impl->storage = std::make_shared<Storage>(bytes, materialize);
+    return Tensor(std::move(impl));
+}
+
+Tensor
+Tensor::view_as(Shape shape) const
+{
+    MYST_CHECK(defined());
+    MYST_CHECK_MSG(shape_numel(shape) == numel(),
+                   "view numel mismatch: " << shape_str(shape) << " vs "
+                                           << shape_str(impl_->shape));
+    auto impl = std::make_shared<TensorImpl>();
+    impl->shape = std::move(shape);
+    impl->dtype = impl_->dtype;
+    impl->storage = impl_->storage; // shared: same storage id in the ET
+    impl->device = impl_->device;
+    impl->ready_us = impl_->ready_us;
+    impl->requires_grad = impl_->requires_grad;
+    impl->produced_by_tape = impl_->produced_by_tape;
+    return Tensor(std::move(impl));
+}
+
+const Shape&
+Tensor::shape() const
+{
+    MYST_CHECK(defined());
+    return impl_->shape;
+}
+
+int64_t
+Tensor::dim(std::size_t i) const
+{
+    MYST_CHECK(defined());
+    MYST_CHECK_MSG(i < impl_->shape.size(), "dim index " << i << " out of range");
+    return impl_->shape[i];
+}
+
+int64_t
+Tensor::numel() const
+{
+    MYST_CHECK(defined());
+    return shape_numel(impl_->shape);
+}
+
+DType
+Tensor::dtype() const
+{
+    MYST_CHECK(defined());
+    return impl_->dtype;
+}
+
+bool
+Tensor::materialized() const
+{
+    MYST_CHECK(defined());
+    return impl_->storage != nullptr && impl_->storage->materialized();
+}
+
+float*
+Tensor::f32()
+{
+    MYST_CHECK(defined());
+    MYST_CHECK_MSG(impl_->dtype == DType::kFloat32, "f32() on non-float tensor");
+    return reinterpret_cast<float*>(impl_->storage->data());
+}
+
+const float*
+Tensor::f32() const
+{
+    MYST_CHECK(defined());
+    MYST_CHECK_MSG(impl_->dtype == DType::kFloat32, "f32() on non-float tensor");
+    return reinterpret_cast<const float*>(impl_->storage->data());
+}
+
+int64_t*
+Tensor::i64()
+{
+    MYST_CHECK(defined());
+    MYST_CHECK_MSG(impl_->dtype == DType::kInt64, "i64() on non-int64 tensor");
+    return reinterpret_cast<int64_t*>(impl_->storage->data());
+}
+
+const int64_t*
+Tensor::i64() const
+{
+    MYST_CHECK(defined());
+    MYST_CHECK_MSG(impl_->dtype == DType::kInt64, "i64() on non-int64 tensor");
+    return reinterpret_cast<const int64_t*>(impl_->storage->data());
+}
+
+bool
+Tensor::requires_grad() const
+{
+    return defined() && impl_->requires_grad;
+}
+
+void
+Tensor::set_requires_grad(bool v)
+{
+    MYST_CHECK(defined());
+    impl_->requires_grad = v;
+}
+
+Tensor
+Tensor::grad() const
+{
+    MYST_CHECK(defined());
+    return impl_->grad ? Tensor(impl_->grad) : Tensor();
+}
+
+sim::TimeUs
+Tensor::ready_us() const
+{
+    MYST_CHECK(defined());
+    return impl_->ready_us;
+}
+
+void
+Tensor::set_ready_us(sim::TimeUs t)
+{
+    MYST_CHECK(defined());
+    impl_->ready_us = t;
+}
+
+} // namespace mystique::fw

@@ -1,0 +1,116 @@
+#pragma once
+
+/// @file
+/// Tensor and storage.
+///
+/// Tensors are value-semantic handles over shared TensorImpls, like
+/// at::Tensor.  Each impl carries:
+///  - shape/dtype and (optionally materialized) storage,
+///  - a session-assigned unique ID used for ET tensor identity (§3.1's
+///    six-element tuple) and replay dependency tracking,
+///  - the virtual time at which its contents become available on device,
+///  - autograd state (requires_grad / grad / produced-by-tape flag).
+///
+/// Simplification vs. ATen: "view" ops (t, transpose, reshape) return new
+/// impls *sharing the storage object* for ET identity purposes, but in
+/// numeric mode their data is eagerly copied into layout-normalized form so
+/// math kernels can stay stride-free.  Views launch no kernels and cost no
+/// device time, matching their role in real traces.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "framework/types.h"
+#include "sim/timeline.h"
+
+namespace mystique::fw {
+
+/// Reference-counted raw buffer with global ID and lazy materialization.
+class Storage {
+  public:
+    Storage(int64_t nbytes, bool materialize_now);
+
+    int64_t id() const { return id_; }
+    int64_t nbytes() const { return nbytes_; }
+    bool materialized() const { return !data_.empty(); }
+
+    /// Allocates the buffer if not already backed.
+    void materialize();
+
+    /// Raw pointer; requires materialized().
+    std::byte* data();
+    const std::byte* data() const;
+
+  private:
+    int64_t id_;
+    int64_t nbytes_;
+    std::vector<std::byte> data_;
+};
+
+/// Shared tensor state.
+struct TensorImpl {
+    Shape shape;
+    DType dtype = DType::kFloat32;
+    std::shared_ptr<Storage> storage;
+    std::string device = "cuda:0";
+
+    /// Session-assigned unique tensor ID; -1 until first observed.
+    int64_t uid = -1;
+    /// Virtual time when device-side contents are ready.
+    sim::TimeUs ready_us = 0.0;
+
+    bool requires_grad = false;
+    /// True once an autograd-taped op produced this tensor (non-leaf).
+    bool produced_by_tape = false;
+    std::shared_ptr<TensorImpl> grad;
+};
+
+/// Value-semantic tensor handle; an empty handle is "undefined" (None).
+class Tensor {
+  public:
+    /// Undefined tensor.
+    Tensor() = default;
+
+    explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+    /// Creates a tensor; when @p materialize is false, storage is metadata
+    /// only (ShapeOnly execution).
+    static Tensor create(Shape shape, DType dtype, bool materialize);
+
+    /// Creates a view impl sharing this tensor's storage with a new shape.
+    Tensor view_as(Shape shape) const;
+
+    bool defined() const { return impl_ != nullptr; }
+    TensorImpl* impl() const { return impl_.get(); }
+    const std::shared_ptr<TensorImpl>& impl_ptr() const { return impl_; }
+
+    const Shape& shape() const;
+    int64_t dim(std::size_t i) const;
+    int64_t numel() const;
+    DType dtype() const;
+    int64_t itemsize() const { return dtype_size(dtype()); }
+    int64_t nbytes() const { return numel() * itemsize(); }
+    bool materialized() const;
+
+    /// Typed data access; requires materialization and matching dtype.
+    float* f32();
+    const float* f32() const;
+    int64_t* i64();
+    const int64_t* i64() const;
+
+    /// Autograd flags.
+    bool requires_grad() const;
+    void set_requires_grad(bool v);
+    Tensor grad() const;
+
+    sim::TimeUs ready_us() const;
+    void set_ready_us(sim::TimeUs t);
+
+    bool operator==(const Tensor& other) const { return impl_ == other.impl_; }
+
+  private:
+    std::shared_ptr<TensorImpl> impl_;
+};
+
+} // namespace mystique::fw

@@ -1,0 +1,66 @@
+#include "framework/types.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mystique::fw {
+
+int64_t
+dtype_size(DType t)
+{
+    switch (t) {
+      case DType::kFloat32: return 4;
+      case DType::kInt64: return 8;
+      case DType::kBool: return 1;
+    }
+    return 4;
+}
+
+const char*
+dtype_name(DType t)
+{
+    switch (t) {
+      case DType::kFloat32: return "float32";
+      case DType::kInt64: return "int64";
+      case DType::kBool: return "bool";
+    }
+    return "?";
+}
+
+DType
+dtype_from_name(const std::string& name)
+{
+    if (name == "float32")
+        return DType::kFloat32;
+    if (name == "int64")
+        return DType::kInt64;
+    if (name == "bool")
+        return DType::kBool;
+    MYST_THROW(ParseError, "unknown dtype '" << name << "'");
+}
+
+int64_t
+shape_numel(const Shape& s)
+{
+    int64_t n = 1;
+    for (int64_t d : s)
+        n *= d;
+    return n;
+}
+
+std::string
+shape_str(const Shape& s)
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << s[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace mystique::fw

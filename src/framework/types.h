@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file
+/// Elementary framework types: dtypes, shapes, execution modes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mystique::fw {
+
+/// Supported element types.
+enum class DType { kFloat32, kInt64, kBool };
+
+/// Bytes per element.
+int64_t dtype_size(DType t);
+
+/// Canonical name ("float32", "int64", "bool").
+const char* dtype_name(DType t);
+
+/// Inverse of dtype_name(); throws ParseError for unknown names.
+DType dtype_from_name(const std::string& name);
+
+/// Tensor shape (row-major, contiguous).
+using Shape = std::vector<int64_t>;
+
+/// Element count of a shape (1 for rank-0).
+int64_t shape_numel(const Shape& s);
+
+/// "[2, 3, 4]" rendering for diagnostics.
+std::string shape_str(const Shape& s);
+
+/// How op implementations behave.
+///
+/// kNumeric executes real math on CPU buffers (used by correctness tests and
+/// small-scale runs).  kShapeOnly skips float math but still materializes
+/// small integer tensors (embedding indices), because index *values* drive
+/// the locality model — the paper's documented value-dependent case (§4.4).
+/// Virtual timing is identical in both modes by construction.
+enum class ExecMode { kNumeric, kShapeOnly };
+
+} // namespace mystique::fw

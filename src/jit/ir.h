@@ -1,0 +1,115 @@
+#pragma once
+
+/// @file
+/// A textual IR mirroring TorchScript graphs, with builder, parser and an
+/// interpreter ("CompilationUnit").  The replayer compiles every recorded
+/// ATen operator into one of these callables during initialization, exactly
+/// as the paper does with torch._C.parse_ir (§4.3.1):
+///
+///   graph(%self.1 : Tensor,
+///         %other.1 : Tensor):
+///     %4 : int = prim::Constant[value=1]()
+///     %5 : Tensor = aten::add.Tensor(%self.1, %other.1, %4)
+///     return (%5)
+///
+/// Non-tensor arguments recorded in the ET become prim::Constant nodes;
+/// tensor arguments become graph inputs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/ivalue.h"
+#include "jit/schema.h"
+
+namespace mystique::fw {
+class Session;
+}
+
+namespace mystique::jit {
+
+/// A constant literal in the IR.
+///
+/// kTensorInput is a builder-side marker (never rendered): it flags an
+/// argument position as a tensor supplied at call time, so that optional
+/// Tensor? slots can distinguish "present tensor" from "recorded None".
+struct Constant {
+    enum class Kind { kNone, kInt, kFloat, kBool, kIntList, kString, kTensorInput };
+    Kind kind = Kind::kNone;
+    int64_t int_value = 0;
+    double float_value = 0.0;
+    bool bool_value = false;
+    std::vector<int64_t> int_list;
+    std::string string_value;
+
+    /// Renders "prim::Constant[value=...]" payload text.
+    std::string render() const;
+    /// Converts to the runtime argument value.
+    fw::IValue to_ivalue() const;
+};
+
+/// One IR node: either a prim::Constant or an operator call.
+struct IrNode {
+    std::vector<std::string> outputs;      ///< "%5"
+    std::vector<std::string> output_types; ///< "Tensor"
+    std::string op;                        ///< "prim::Constant" or "aten::addmm"
+    Constant constant;                     ///< valid when op == prim::Constant
+    std::vector<std::string> inputs;       ///< "%x.1", "%4"
+};
+
+/// A parsed graph.
+struct Graph {
+    std::vector<std::string> input_names; ///< "%self.1"
+    std::vector<std::string> input_types; ///< "Tensor"
+    std::vector<IrNode> nodes;
+    std::vector<std::string> return_values;
+
+    /// Renders canonical IR text.
+    std::string render() const;
+};
+
+/// Builds IR text for one recorded operator invocation.
+///
+/// @param schema  the parsed operator schema
+/// @param constant_args  per-argument constants; entries for tensor-like
+///        positions are ignored (those become graph inputs).  Size must
+///        equal schema.args.size().
+std::string build_ir_text(const FunctionSchema& schema,
+                          const std::vector<Constant>& constant_args);
+
+/// Parses IR text into a Graph; throws ParseError on malformed input.
+Graph parse_ir(const std::string& text);
+
+/// A compiled callable over a Graph.
+class Function {
+  public:
+    Function(std::string name, Graph graph);
+
+    const std::string& name() const { return name_; }
+    const Graph& graph() const { return graph_; }
+
+    /// Executes the graph: binds @p tensor_inputs to the graph inputs in
+    /// order, materializes constants, dispatches operator nodes through the
+    /// session, and returns the graph's return values.
+    std::vector<fw::IValue> run(fw::Session& sess,
+                                const std::vector<fw::IValue>& tensor_inputs) const;
+
+  private:
+    std::string name_;
+    Graph graph_;
+};
+
+/// Owns compiled functions (torch._C.CompilationUnit analogue).
+class CompilationUnit {
+  public:
+    /// Compiles a graph into a named function and retains it.
+    const Function& create_function(const std::string& name, Graph graph);
+
+    const Function* find(const std::string& name) const;
+    std::size_t size() const { return functions_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Function>> functions_;
+};
+
+} // namespace mystique::jit

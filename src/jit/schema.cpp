@@ -1,0 +1,129 @@
+#include "jit/schema.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace mystique::jit {
+
+namespace {
+
+/// Strips alias annotations: "Tensor(a!)" → "Tensor", "Tensor(a)" → "Tensor".
+std::string
+normalize_type(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    bool in_paren = false;
+    for (char c : raw) {
+        if (c == '(') {
+            in_paren = true;
+        } else if (c == ')') {
+            in_paren = false;
+        } else if (!in_paren) {
+            out += c;
+        }
+    }
+    // Normalize sized lists: int[2] → int[].
+    const auto lb = out.find('[');
+    if (lb != std::string::npos) {
+        const auto rb = out.find(']', lb);
+        if (rb != std::string::npos && rb > lb + 1)
+            out = out.substr(0, lb + 1) + out.substr(rb);
+    }
+    return std::string(trim(out));
+}
+
+SchemaArg
+parse_arg(std::string_view text, bool kwarg_only)
+{
+    SchemaArg arg;
+    arg.kwarg_only = kwarg_only;
+    std::string_view body = trim(text);
+    // Split off a default value at the top level.
+    std::string default_part;
+    const auto pieces = split_top_level(body, '=');
+    if (pieces.size() == 2) {
+        body = trim(pieces[0]);
+        arg.default_value = std::string(trim(pieces[1]));
+    } else if (pieces.size() > 2) {
+        MYST_THROW(ParseError, "schema arg has multiple '=': " << text);
+    }
+    // The last space-separated token is the name; everything before is type.
+    const auto last_space = body.rfind(' ');
+    if (last_space == std::string_view::npos)
+        MYST_THROW(ParseError, "schema arg missing name: " << text);
+    arg.type = normalize_type(body.substr(0, last_space));
+    arg.name = std::string(trim(body.substr(last_space + 1)));
+    if (arg.type.empty() || arg.name.empty())
+        MYST_THROW(ParseError, "schema arg malformed: " << text);
+    return arg;
+}
+
+} // namespace
+
+FunctionSchema
+parse_schema(const std::string& schema)
+{
+    FunctionSchema fs;
+    const auto lparen = schema.find('(');
+    if (lparen == std::string::npos)
+        MYST_THROW(ParseError, "schema missing '(': " << schema);
+
+    // Name and overload.
+    std::string full_name(trim(schema.substr(0, lparen)));
+    const auto dot = full_name.find('.', full_name.find("::") == std::string::npos
+                                             ? 0
+                                             : full_name.find("::") + 2);
+    if (dot != std::string::npos) {
+        fs.name = full_name.substr(0, dot);
+        fs.overload = full_name.substr(dot + 1);
+    } else {
+        fs.name = full_name;
+    }
+
+    // Argument list: find the matching ')' at depth 0.
+    int depth = 0;
+    std::size_t rparen = std::string::npos;
+    for (std::size_t i = lparen; i < schema.size(); ++i) {
+        if (schema[i] == '(')
+            ++depth;
+        else if (schema[i] == ')' && --depth == 0) {
+            rparen = i;
+            break;
+        }
+    }
+    if (rparen == std::string::npos)
+        MYST_THROW(ParseError, "schema missing ')': " << schema);
+
+    const std::string arg_text = schema.substr(lparen + 1, rparen - lparen - 1);
+    bool kwarg_only = false;
+    for (const auto& piece : split_top_level(arg_text, ',')) {
+        const auto t = trim(piece);
+        if (t.empty())
+            continue;
+        if (t == "*") {
+            kwarg_only = true;
+            continue;
+        }
+        fs.args.push_back(parse_arg(t, kwarg_only));
+    }
+
+    // Returns.
+    const auto arrow = schema.find("->", rparen);
+    if (arrow == std::string::npos)
+        MYST_THROW(ParseError, "schema missing '->': " << schema);
+    std::string_view ret = trim(std::string_view(schema).substr(arrow + 2));
+    if (ret == "()") {
+        // no returns
+    } else if (!ret.empty() && ret.front() == '(') {
+        if (ret.back() != ')')
+            MYST_THROW(ParseError, "schema return tuple malformed: " << schema);
+        for (const auto& piece : split_top_level(ret.substr(1, ret.size() - 2), ','))
+            fs.returns.push_back(normalize_type(trim(piece)));
+    } else {
+        fs.returns.push_back(normalize_type(ret));
+    }
+    return fs;
+}
+
+} // namespace mystique::jit

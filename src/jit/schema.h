@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file
+/// PyTorch operator-schema parsing (§4.3.1).
+///
+/// The replayer reconstructs each ATen operator from the schema string
+/// captured in its ET node, e.g.
+///
+///   "aten::add.Tensor(Tensor self, Tensor other, *, Scalar alpha=1) -> Tensor"
+///
+/// The string-based parser below extracts the operator name, overload, the
+/// ordered argument list (name/type/default/kwarg-only) and the return types.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mystique::jit {
+
+/// One schema argument.
+struct SchemaArg {
+    std::string name;
+    /// Normalized type: "Tensor", "Tensor?", "Tensor[]", "Scalar", "int",
+    /// "int[]", "float", "bool", "str" (alias annotations like "(a!)" are
+    /// stripped; sized lists like "int[2]" normalize to "int[]").
+    std::string type;
+    std::optional<std::string> default_value;
+    bool kwarg_only = false;
+
+    bool is_tensor_like() const
+    {
+        return type == "Tensor" || type == "Tensor?" || type == "Tensor[]";
+    }
+};
+
+/// A parsed operator schema.
+struct FunctionSchema {
+    /// Qualified base name, e.g. "aten::add".
+    std::string name;
+    /// Overload, e.g. "Tensor" in "aten::add.Tensor" (empty when none).
+    std::string overload;
+    std::vector<SchemaArg> args;
+    std::vector<std::string> returns;
+
+    /// "aten::add.Tensor" — the registry key.
+    std::string qualified_name() const
+    {
+        return overload.empty() ? name : name + "." + overload;
+    }
+};
+
+/// Parses a schema string; throws ParseError on malformed input.
+FunctionSchema parse_schema(const std::string& schema);
+
+} // namespace mystique::jit

@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file
+/// Profiler activity events (the Kineto-style trace of §4.5).
+///
+/// The profiler trace complements the ET with the information the ET lacks:
+/// which GPU kernels each operator launched and on which CUDA stream.  The
+/// replayer consumes it to dispatch replayed operators to the right streams.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/kernel.h"
+#include "sim/timeline.h"
+
+namespace mystique::prof {
+
+/// A CPU-side operator (or wrapper) span.
+struct CpuOpEvent {
+    std::string name;
+    int tid = 1;
+    sim::TimeUs ts = 0.0;
+    sim::TimeUs dur = 0.0;
+    /// ET node ID of the op (links profiler trace ↔ execution trace).
+    int64_t node_id = -1;
+    dev::OpCategory category = dev::OpCategory::kATen;
+    bool is_wrapper = false;
+};
+
+/// A device kernel span.
+struct KernelEvent {
+    std::string name;
+    int stream = 0;
+    sim::TimeUs ts = 0.0;
+    sim::TimeUs dur = 0.0;
+    /// Correlates the kernel with the launching CPU op (its ET node ID).
+    int64_t correlation = -1;
+    dev::OpCategory category = dev::OpCategory::kATen;
+    dev::KernelKind kind = dev::KernelKind::kOther;
+    double flops = 0.0;
+    double bytes = 0.0;
+    dev::MicroMetrics micro;
+};
+
+} // namespace mystique::prof

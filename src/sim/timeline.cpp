@@ -1,0 +1,86 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mystique::sim {
+
+TimeUs
+union_length(std::vector<Interval> intervals)
+{
+    if (intervals.empty())
+        return 0.0;
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    TimeUs total = 0.0;
+    TimeUs cur_start = intervals[0].start;
+    TimeUs cur_end = intervals[0].end;
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+        const auto& iv = intervals[i];
+        if (iv.start <= cur_end) {
+            cur_end = std::max(cur_end, iv.end);
+        } else {
+            total += cur_end - cur_start;
+            cur_start = iv.start;
+            cur_end = iv.end;
+        }
+    }
+    total += cur_end - cur_start;
+    return total;
+}
+
+Interval
+span(const std::vector<Interval>& intervals)
+{
+    if (intervals.empty())
+        return {};
+    Interval s{intervals[0].start, intervals[0].end};
+    for (const auto& iv : intervals) {
+        s.start = std::min(s.start, iv.start);
+        s.end = std::max(s.end, iv.end);
+    }
+    return s;
+}
+
+TimeUs
+exposed_time(const Interval& target, const std::vector<Interval>& others)
+{
+    // Clip others to the target window, take union, subtract.
+    std::vector<Interval> clipped;
+    clipped.reserve(others.size());
+    for (const auto& o : others) {
+        if (!o.overlaps(target))
+            continue;
+        clipped.push_back({std::max(o.start, target.start), std::min(o.end, target.end)});
+    }
+    const TimeUs covered = union_length(std::move(clipped));
+    return std::max(0.0, target.duration() - covered);
+}
+
+TimeUs
+total_exposed_time(const std::vector<Interval>& targets, const std::vector<Interval>& others)
+{
+    TimeUs total = 0.0;
+    for (const auto& t : targets)
+        total += exposed_time(t, others);
+    return total;
+}
+
+TimeUs
+VirtualClock::advance(TimeUs dur)
+{
+    MYST_CHECK_MSG(dur >= 0.0, "negative clock advance: " << dur);
+    now_ += dur;
+    return now_;
+}
+
+TimeUs
+VirtualClock::advance_to(TimeUs t)
+{
+    if (t > now_)
+        now_ = t;
+    return now_;
+}
+
+} // namespace mystique::sim

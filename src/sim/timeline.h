@@ -1,0 +1,67 @@
+#pragma once
+
+/// @file
+/// Virtual-time primitives.
+///
+/// The simulator uses *timestamp propagation* rather than a central event
+/// queue: every actor (CPU thread, GPU stream, collective) carries a virtual
+/// clock in microseconds, and each action advances clocks with
+/// `start = max(actor ready, dependencies ready)`.  This is deterministic,
+/// fast, and exactly sufficient for the FIFO-stream + rendezvous-collective
+/// semantics the paper's workloads exhibit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mystique::sim {
+
+/// Virtual time in microseconds since run start.
+using TimeUs = double;
+
+/// A half-open busy interval [start, end) attributed to some actor.
+struct Interval {
+    TimeUs start = 0.0;
+    TimeUs end = 0.0;
+
+    TimeUs duration() const { return end - start; }
+    bool overlaps(const Interval& other) const { return start < other.end && other.start < end; }
+};
+
+/// Total length of the union of intervals (overlaps counted once).
+TimeUs union_length(std::vector<Interval> intervals);
+
+/// Earliest start and latest end over @p intervals; {0,0} when empty.
+Interval span(const std::vector<Interval>& intervals);
+
+/// The portion of @p target NOT covered by any interval in @p others.
+///
+/// This is the "exposed time" notion from the paper's Figure 2: a
+/// communication kernel's exposed GPU time is the part of its duration during
+/// which no computation kernel is running in parallel.
+TimeUs exposed_time(const Interval& target, const std::vector<Interval>& others);
+
+/// Sum of exposed times of @p targets against @p others.
+TimeUs total_exposed_time(const std::vector<Interval>& targets,
+                          const std::vector<Interval>& others);
+
+/// Monotonically advancing virtual clock for one actor.
+class VirtualClock {
+  public:
+    /// Current time.
+    TimeUs now() const { return now_; }
+
+    /// Moves forward by @p dur (must be >= 0); returns the new time.
+    TimeUs advance(TimeUs dur);
+
+    /// Jumps forward to @p t if it is later than now; returns the new time.
+    TimeUs advance_to(TimeUs t);
+
+    /// Resets to @p t (used at run start only).
+    void reset(TimeUs t = 0.0) { now_ = t; }
+
+  private:
+    TimeUs now_ = 0.0;
+};
+
+} // namespace mystique::sim

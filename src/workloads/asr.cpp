@@ -1,0 +1,140 @@
+/// @file
+/// ASR (§6.2): "a production multi-GPU automatic speech recognition training
+/// flow implemented with the Fairseq toolkit.  At its core, ASR is a
+/// neural-network-based acoustic model."
+///
+/// Architecture: a 2-layer convolutional subsampling frontend, two custom
+/// LSTM layers (fairseq::lstm_layer — *not* replayable by default, the
+/// source of ASR's Table 3 execution-time coverage gap), a stack of wide
+/// feed-forward blocks, and a CTC-style classifier head (log-softmax + NLL).
+
+#include "workloads/workloads_impl.h"
+
+namespace mystique::wl {
+
+namespace {
+
+struct Dims {
+    int64_t batch;
+    int64_t frames;   ///< input time steps
+    int64_t features; ///< mel features
+    int64_t hidden;
+    int64_t ffn;
+    int64_t vocab;
+    int64_t lstm_layers;
+    int64_t ffn_blocks;
+};
+
+Dims
+dims_for(Preset preset)
+{
+    if (preset == Preset::kTiny)
+        return {2, 16, 8, 16, 32, 12, 1, 1};
+    return {32, 600, 80, 1024, 4096, 8192, 2, 10};
+}
+
+} // namespace
+
+class Asr final : public Workload {
+  public:
+    explicit Asr(Preset preset) : dims_(dims_for(preset)) {}
+
+    std::string name() const override { return "asr"; }
+
+    void setup(fw::Session& s) override
+    {
+        conv1_ = std::make_unique<fw::nn::Conv2d>(s, 1, 32, 3, 2, 1);
+        conv2_ = std::make_unique<fw::nn::Conv2d>(s, 32, 64, 3, 2, 1);
+        const int64_t t4 = dims_.frames / 4;
+        const int64_t f4 = dims_.features / 4;
+        (void)t4;
+        proj_ = std::make_unique<fw::nn::Linear>(s, 64 * f4, dims_.hidden);
+        for (int64_t i = 0; i < dims_.lstm_layers; ++i)
+            lstms_.emplace_back(s, dims_.hidden, dims_.hidden);
+        for (int64_t i = 0; i < dims_.ffn_blocks; ++i) {
+            ffn_up_.emplace_back(s, dims_.hidden, dims_.ffn);
+            ffn_down_.emplace_back(s, dims_.ffn, dims_.hidden);
+        }
+        head_ = std::make_unique<fw::nn::Linear>(s, dims_.hidden, dims_.vocab);
+
+        std::vector<fw::Tensor> params;
+        auto absorb = [&params](const std::vector<fw::Tensor>& ps) {
+            params.insert(params.end(), ps.begin(), ps.end());
+        };
+        absorb(conv1_->parameters());
+        absorb(conv2_->parameters());
+        absorb(proj_->parameters());
+        for (auto& l : lstms_)
+            absorb(l.parameters());
+        for (std::size_t i = 0; i < ffn_up_.size(); ++i) {
+            absorb(ffn_up_[i].parameters());
+            absorb(ffn_down_[i].parameters());
+        }
+        absorb(head_->parameters());
+        opt_ = std::make_unique<fw::nn::SGD>(params, 0.01);
+        if (s.options().world_size > 1)
+            ddp_ = std::make_unique<fw::nn::DistributedDataParallel>(s, params, 0);
+    }
+
+    void iteration(fw::Session& s, int iter) override
+    {
+        (void)iter;
+        if (ddp_)
+            ddp_->reset();
+        fw::Tensor audio = host_float(s, {dims_.batch, 1, dims_.frames, dims_.features});
+        const int64_t t4 = dims_.frames / 4;
+        fw::Tensor labels = host_labels(s, t4 * dims_.batch, dims_.vocab);
+        fw::Tensor x = fw::F::to_device(s, audio);
+        fw::Tensor y = fw::F::to_device(s, labels);
+        {
+            fw::RecordFunction rf(s, "## encoder ##");
+            x = conv1_->forward(s, x);
+            x = fw::F::relu(s, x);
+            x = conv2_->forward(s, x);
+            x = fw::F::relu(s, x);
+            // [B, 64, T/4, F/4] → [T/4, B, 64*F/4]
+            x = fw::F::transpose(s, x, 0, 2);
+            x = fw::F::reshape(s, x, {t4 * dims_.batch, -1});
+            x = proj_->forward(s, x);
+            x = fw::F::reshape(s, x, {t4, dims_.batch, dims_.hidden});
+            for (auto& lstm : lstms_)
+                x = lstm.forward(s, x);
+            fw::Tensor flat = fw::F::reshape(s, x, {t4 * dims_.batch, dims_.hidden});
+            for (std::size_t i = 0; i < ffn_up_.size(); ++i) {
+                fw::Tensor h = ffn_up_[i].forward(s, flat);
+                h = fw::F::relu(s, h);
+                h = ffn_down_[i].forward(s, h);
+                h = fw::F::dropout(s, h, 0.1);
+                flat = fw::F::add(s, flat, h);
+            }
+            x = head_->forward(s, flat);
+        }
+        fw::Tensor logp = fw::F::log_softmax(s, x, 1);
+        fw::Tensor loss = fw::F::nll_loss(s, logp, y);
+        s.backward(loss);
+        if (ddp_)
+            ddp_->wait_all(s); // gradients must be averaged before the update
+        opt_->step(s);
+        opt_->zero_grad();
+    }
+
+  private:
+    Dims dims_;
+    std::unique_ptr<fw::nn::Conv2d> conv1_;
+    std::unique_ptr<fw::nn::Conv2d> conv2_;
+    std::unique_ptr<fw::nn::Linear> proj_;
+    std::vector<fw::nn::LstmLayer> lstms_;
+    std::vector<fw::nn::Linear> ffn_up_;
+    std::vector<fw::nn::Linear> ffn_down_;
+    std::unique_ptr<fw::nn::Linear> head_;
+    std::unique_ptr<fw::nn::SGD> opt_;
+    std::unique_ptr<fw::nn::DistributedDataParallel> ddp_;
+};
+
+std::unique_ptr<Workload>
+make_asr(const WorkloadOptions& opts)
+{
+    return std::make_unique<Asr>(opts.preset);
+}
+
+} // namespace mystique::wl

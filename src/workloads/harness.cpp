@@ -1,0 +1,126 @@
+#include "workloads/harness.h"
+
+#include <thread>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mystique::wl {
+
+namespace {
+
+RankResult
+run_rank(const std::string& workload_name, const WorkloadOptions& wopts,
+         const RunConfig& cfg, int rank, const std::shared_ptr<comm::CommFabric>& fabric)
+{
+    fw::SessionOptions opts;
+    opts.platform = dev::platform(cfg.platform);
+    opts.mode = cfg.mode;
+    opts.seed = cfg.seed;
+    opts.rank = rank;
+    opts.world_size = cfg.world_size;
+    opts.power_limit_w = cfg.power_limit_w;
+    opts.dispatch = fw::DispatchProfile::eager();
+    fw::Session session(opts);
+
+    if (fabric != nullptr) {
+        // Register the world group under ET pg id 0 before model setup.
+        auto pg = std::make_shared<comm::ProcessGroup>(fabric, fabric->world_group(), rank);
+        session.add_process_group(0, pg);
+    }
+
+    auto workload = make_workload(workload_name, wopts);
+    workload->setup(session);
+
+    for (int i = 0; i < cfg.warmup_iterations; ++i) {
+        workload->iteration(session, i);
+        session.sync_device();
+    }
+
+    et::ExecutionTraceObserver et_obs;
+    prof::ProfilerSession profiler;
+    session.attach_et_observer(&et_obs);
+    session.attach_profiler(&profiler);
+
+    RankResult result;
+    const sim::TimeUs timed_start = session.sync_device();
+    RunningStat stat;
+    for (int i = 0; i < cfg.iterations; ++i) {
+        const bool traced = cfg.collect_traces && i == 0;
+        if (traced) {
+            // §4.1: trace a single iteration; all ranks trace the same one.
+            et::TraceMeta meta;
+            meta.workload = workload_name;
+            meta.platform = cfg.platform;
+            meta.rank = rank;
+            meta.world_size = cfg.world_size;
+            meta.iteration = cfg.warmup_iterations;
+            meta.seed = cfg.seed;
+            meta.process_groups = session.process_group_defs();
+            et_obs.set_meta(meta);
+            et_obs.start();
+            profiler.start();
+        }
+        const sim::TimeUs t0 = session.cpu_now();
+        workload->iteration(session, cfg.warmup_iterations + i);
+        const sim::TimeUs t1 = session.sync_device();
+        if (traced) {
+            et_obs.stop();
+            profiler.stop();
+        }
+        result.iter_us.push_back(t1 - t0);
+        stat.add(t1 - t0);
+    }
+    result.mean_iter_us = stat.mean();
+    result.metrics = session.device().metrics(timed_start, session.cpu_now());
+    result.trace = et_obs.take_trace();
+    result.prof = profiler.take_trace();
+    return result;
+}
+
+} // namespace
+
+RunResult
+run_original(const std::string& workload_name, const WorkloadOptions& wopts,
+             const RunConfig& cfg)
+{
+    MYST_CHECK_MSG(cfg.world_size >= 1, "world_size must be >= 1");
+    RunResult result;
+    result.ranks.resize(static_cast<std::size_t>(cfg.world_size));
+
+    if (cfg.world_size == 1) {
+        result.ranks[0] = run_rank(workload_name, wopts, cfg, 0, nullptr);
+    } else {
+        auto fabric = std::make_shared<comm::CommFabric>(cfg.world_size,
+                                                         comm::NetworkModel(cfg.topology));
+        std::vector<std::thread> threads;
+        std::vector<std::string> errors(static_cast<std::size_t>(cfg.world_size));
+        threads.reserve(static_cast<std::size_t>(cfg.world_size));
+        for (int rank = 0; rank < cfg.world_size; ++rank) {
+            threads.emplace_back([&, rank] {
+                try {
+                    result.ranks[static_cast<std::size_t>(rank)] =
+                        run_rank(workload_name, wopts, cfg, rank, fabric);
+                } catch (const std::exception& e) {
+                    errors[static_cast<std::size_t>(rank)] = e.what();
+                }
+            });
+        }
+        for (auto& t : threads)
+            t.join();
+        for (int rank = 0; rank < cfg.world_size; ++rank) {
+            if (!errors[static_cast<std::size_t>(rank)].empty())
+                MYST_THROW(MystiqueError,
+                           "rank " + std::to_string(rank) +
+                               " failed: " + errors[static_cast<std::size_t>(rank)]);
+        }
+    }
+
+    RunningStat stat;
+    for (const auto& r : result.ranks)
+        stat.add(r.mean_iter_us);
+    result.mean_iter_us = stat.mean();
+    return result;
+}
+
+} // namespace mystique::wl

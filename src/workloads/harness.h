@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file
+/// Measurement harness: runs original workloads (single-rank or distributed)
+/// and collects the paper's artifacts — the execution trace of one iteration,
+/// the profiler trace of that iteration, per-iteration times, and device
+/// metrics over the timed window.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/network_model.h"
+#include "device/device.h"
+#include "et/trace.h"
+#include "profiler/profiler.h"
+#include "workloads/workload.h"
+
+namespace mystique::wl {
+
+/// Harness configuration.
+struct RunConfig {
+    std::string platform = "A100";
+    fw::ExecMode mode = fw::ExecMode::kShapeOnly;
+    int world_size = 1;
+    int warmup_iterations = 2;
+    int iterations = 5;
+    uint64_t seed = 42;
+    std::optional<double> power_limit_w;
+    comm::Topology topology;
+    /// Collect ET + profiler traces (of the first timed iteration).
+    bool collect_traces = true;
+};
+
+/// Per-rank artifacts.
+struct RankResult {
+    et::ExecutionTrace trace;
+    prof::ProfilerTrace prof;
+    std::vector<double> iter_us;
+    double mean_iter_us = 0.0;
+    dev::DeviceMetrics metrics;
+};
+
+/// Whole-run artifacts.
+struct RunResult {
+    std::vector<RankResult> ranks;
+    /// Mean iteration time averaged over ranks.
+    double mean_iter_us = 0.0;
+
+    const RankResult& rank0() const { return ranks.at(0); }
+};
+
+/// Runs a workload and collects artifacts.  For world_size > 1, ranks run on
+/// threads sharing a collective fabric; every rank records its own ET from
+/// the same iteration (§4.1's requirement for matching communication ops).
+RunResult run_original(const std::string& workload_name, const WorkloadOptions& wopts,
+                       const RunConfig& cfg);
+
+} // namespace mystique::wl

@@ -1,0 +1,82 @@
+/// @file
+/// PARAM linear (§6.2): "a representative linear model with 20 linear layers,
+/// batch size 512, float32" from the PARAM benchmark suite.  In distributed
+/// runs it trains under DDP, as the paper's Figure 4 / Table 4 configuration.
+
+#include "workloads/workloads_impl.h"
+
+namespace mystique::wl {
+
+namespace {
+
+struct Dims {
+    int64_t batch;
+    int64_t hidden;
+    int64_t layers;
+};
+
+Dims
+dims_for(Preset preset)
+{
+    if (preset == Preset::kTiny)
+        return {4, 16, 3};
+    return {512, 2048, 20};
+}
+
+} // namespace
+
+class ParamLinear final : public Workload {
+  public:
+    explicit ParamLinear(Preset preset) : dims_(dims_for(preset)) {}
+
+    std::string name() const override { return "param_linear"; }
+
+    void setup(fw::Session& s) override
+    {
+        std::vector<fw::Tensor> params;
+        for (int64_t i = 0; i < dims_.layers; ++i) {
+            layers_.emplace_back(s, dims_.hidden, dims_.hidden);
+            for (auto& p : layers_.back().parameters())
+                params.push_back(p);
+        }
+        opt_ = std::make_unique<fw::nn::SGD>(params, 0.01);
+        if (s.options().world_size > 1)
+            ddp_ = std::make_unique<fw::nn::DistributedDataParallel>(s, params, 0);
+    }
+
+    void iteration(fw::Session& s, int iter) override
+    {
+        (void)iter;
+        if (ddp_)
+            ddp_->reset();
+        fw::Tensor input = host_float(s, {dims_.batch, dims_.hidden});
+        fw::Tensor x = fw::F::to_device(s, input);
+        {
+            fw::RecordFunction rf(s, "## forward ##");
+            for (auto& layer : layers_) {
+                x = layer.forward(s, x);
+                x = fw::F::relu(s, x);
+            }
+        }
+        fw::Tensor loss = s.call_t("aten::mean", {fw::IValue(x)});
+        s.backward(loss);
+        if (ddp_)
+            ddp_->wait_all(s); // gradients must be averaged before the update
+        opt_->step(s);
+        opt_->zero_grad();
+    }
+
+  private:
+    Dims dims_;
+    std::vector<fw::nn::Linear> layers_;
+    std::unique_ptr<fw::nn::SGD> opt_;
+    std::unique_ptr<fw::nn::DistributedDataParallel> ddp_;
+};
+
+std::unique_ptr<Workload>
+make_param_linear(const WorkloadOptions& opts)
+{
+    return std::make_unique<ParamLinear>(opts.preset);
+}
+
+} // namespace mystique::wl

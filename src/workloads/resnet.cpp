@@ -1,0 +1,169 @@
+/// @file
+/// ResNet-18 image-classification training (§6.2): torchvision's resnet18,
+/// batch 128, float32, DDP for distributed runs.  Full basic-block topology:
+/// stem conv7x7/2 + maxpool, four stages of two residual blocks, adaptive
+/// average pooling, and a fully-connected classifier with NLL loss.
+
+#include "workloads/workloads_impl.h"
+
+namespace mystique::wl {
+
+namespace {
+
+struct Dims {
+    int64_t batch;
+    int64_t image;
+    int64_t base_width;
+    int64_t classes;
+};
+
+Dims
+dims_for(Preset preset)
+{
+    if (preset == Preset::kTiny)
+        return {2, 32, 8, 10};
+    return {128, 224, 64, 1000};
+}
+
+} // namespace
+
+/// One torchvision BasicBlock.
+class BasicBlock {
+  public:
+    BasicBlock(fw::Session& s, int64_t in_ch, int64_t out_ch, int64_t stride)
+        : conv1_(s, in_ch, out_ch, 3, stride, 1, /*bias=*/false),
+          bn1_(s, out_ch),
+          conv2_(s, out_ch, out_ch, 3, 1, 1, /*bias=*/false),
+          bn2_(s, out_ch)
+    {
+        if (stride != 1 || in_ch != out_ch) {
+            down_conv_ = std::make_unique<fw::nn::Conv2d>(s, in_ch, out_ch, 1, stride, 0,
+                                                          /*bias=*/false);
+            down_bn_ = std::make_unique<fw::nn::BatchNorm2d>(s, out_ch);
+        }
+    }
+
+    fw::Tensor forward(fw::Session& s, const fw::Tensor& x) const
+    {
+        fw::Tensor out = conv1_.forward(s, x);
+        out = bn1_.forward(s, out);
+        out = fw::F::relu(s, out);
+        out = conv2_.forward(s, out);
+        out = bn2_.forward(s, out);
+        fw::Tensor shortcut = x;
+        if (down_conv_) {
+            shortcut = down_conv_->forward(s, x);
+            shortcut = down_bn_->forward(s, shortcut);
+        }
+        out = fw::F::add(s, out, shortcut);
+        return fw::F::relu(s, out);
+    }
+
+    std::vector<fw::Tensor> parameters() const
+    {
+        std::vector<fw::Tensor> out;
+        auto absorb = [&out](const std::vector<fw::Tensor>& ps) {
+            out.insert(out.end(), ps.begin(), ps.end());
+        };
+        absorb(conv1_.parameters());
+        absorb(conv2_.parameters());
+        if (down_conv_)
+            absorb(down_conv_->parameters());
+        absorb(bn1_.parameters());
+        absorb(bn2_.parameters());
+        if (down_bn_)
+            absorb(down_bn_->parameters());
+        return out;
+    }
+
+  private:
+    fw::nn::Conv2d conv1_;
+    fw::nn::BatchNorm2d bn1_;
+    fw::nn::Conv2d conv2_;
+    fw::nn::BatchNorm2d bn2_;
+    std::unique_ptr<fw::nn::Conv2d> down_conv_;
+    std::unique_ptr<fw::nn::BatchNorm2d> down_bn_;
+};
+
+class ResNet final : public Workload {
+  public:
+    explicit ResNet(Preset preset) : dims_(dims_for(preset)) {}
+
+    std::string name() const override { return "resnet"; }
+
+    void setup(fw::Session& s) override
+    {
+        const int64_t w = dims_.base_width;
+        stem_ = std::make_unique<fw::nn::Conv2d>(s, 3, w, 7, 2, 3, /*bias=*/false);
+        stem_bn_ = std::make_unique<fw::nn::BatchNorm2d>(s, w);
+        const int64_t widths[4] = {w, 2 * w, 4 * w, 8 * w};
+        int64_t in_ch = w;
+        for (int stage = 0; stage < 4; ++stage) {
+            const int64_t out_ch = widths[stage];
+            const int64_t stride = stage == 0 ? 1 : 2;
+            blocks_.push_back(std::make_unique<BasicBlock>(s, in_ch, out_ch, stride));
+            blocks_.push_back(std::make_unique<BasicBlock>(s, out_ch, out_ch, 1));
+            in_ch = out_ch;
+        }
+        fc_ = std::make_unique<fw::nn::Linear>(s, 8 * w, dims_.classes);
+
+        std::vector<fw::Tensor> params = stem_->parameters();
+        for (auto& p : stem_bn_->parameters())
+            params.push_back(p);
+        for (auto& b : blocks_)
+            for (auto& p : b->parameters())
+                params.push_back(p);
+        for (auto& p : fc_->parameters())
+            params.push_back(p);
+        opt_ = std::make_unique<fw::nn::SGD>(params, 0.1);
+        if (s.options().world_size > 1)
+            ddp_ = std::make_unique<fw::nn::DistributedDataParallel>(s, params, 0);
+    }
+
+    void iteration(fw::Session& s, int iter) override
+    {
+        (void)iter;
+        if (ddp_)
+            ddp_->reset();
+        fw::Tensor images = host_float(s, {dims_.batch, 3, dims_.image, dims_.image});
+        fw::Tensor labels = host_labels(s, dims_.batch, dims_.classes);
+        fw::Tensor x = fw::F::to_device(s, images);
+        fw::Tensor y = fw::F::to_device(s, labels);
+        {
+            fw::RecordFunction rf(s, "## forward ##");
+            x = stem_->forward(s, x);
+            x = stem_bn_->forward(s, x);
+            x = fw::F::relu(s, x);
+            x = fw::F::max_pool2d(s, x, 3, 2, 1);
+            for (auto& b : blocks_)
+                x = b->forward(s, x);
+            x = fw::F::adaptive_avg_pool2d(s, x, 1, 1);
+            x = fw::F::reshape(s, x, {dims_.batch, -1});
+            x = fc_->forward(s, x);
+        }
+        fw::Tensor logp = fw::F::log_softmax(s, x, 1);
+        fw::Tensor loss = fw::F::nll_loss(s, logp, y);
+        s.backward(loss);
+        if (ddp_)
+            ddp_->wait_all(s); // gradients must be averaged before the update
+        opt_->step(s);
+        opt_->zero_grad();
+    }
+
+  private:
+    Dims dims_;
+    std::unique_ptr<fw::nn::Conv2d> stem_;
+    std::unique_ptr<fw::nn::BatchNorm2d> stem_bn_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    std::unique_ptr<fw::nn::Linear> fc_;
+    std::unique_ptr<fw::nn::SGD> opt_;
+    std::unique_ptr<fw::nn::DistributedDataParallel> ddp_;
+};
+
+std::unique_ptr<Workload>
+make_resnet(const WorkloadOptions& opts)
+{
+    return std::make_unique<ResNet>(opts.preset);
+}
+
+} // namespace mystique::wl

@@ -1,0 +1,29 @@
+#include "workloads/workload.h"
+
+#include "common/error.h"
+#include "workloads/workloads_impl.h"
+
+namespace mystique::wl {
+
+std::unique_ptr<Workload>
+make_workload(const std::string& name, const WorkloadOptions& opts)
+{
+    if (name == "param_linear")
+        return make_param_linear(opts);
+    if (name == "resnet")
+        return make_resnet(opts);
+    if (name == "asr")
+        return make_asr(opts);
+    if (name == "rm")
+        return make_rm(opts);
+    MYST_THROW(ConfigError, "unknown workload '" << name
+                            << "' (expected param_linear, resnet, asr or rm)");
+}
+
+std::vector<std::string>
+workload_names()
+{
+    return {"param_linear", "resnet", "asr", "rm"};
+}
+
+} // namespace mystique::wl

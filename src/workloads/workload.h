@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file
+/// Workload interface and registry for the four evaluated models (§6.2):
+/// PARAM linear, ResNet, ASR and RM.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "framework/session.h"
+
+namespace mystique::wl {
+
+/// Size presets.  kPaper approximates the paper's configurations (batch 512
+/// / 20 layers for PARAM linear, batch 128 for ResNet, ...) and is meant for
+/// shape-only timing runs; kTiny shrinks every dimension for numeric-mode
+/// correctness tests.
+enum class Preset { kTiny, kPaper };
+
+/// Options common to all workloads.
+struct WorkloadOptions {
+    Preset preset = Preset::kPaper;
+};
+
+/// A trainable model driven by the harness: setup() creates parameters (and
+/// process groups in distributed runs); iteration() performs one full
+/// training step — input transfer, forward, loss, backward, optimizer.
+class Workload {
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+    virtual void setup(fw::Session& session) = 0;
+    virtual void iteration(fw::Session& session, int iter) = 0;
+};
+
+/// Instantiates a workload by name ("param_linear", "resnet", "asr", "rm");
+/// throws ConfigError for unknown names.
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadOptions& opts = {});
+
+/// All registered workload names.
+std::vector<std::string> workload_names();
+
+} // namespace mystique::wl

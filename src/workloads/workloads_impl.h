@@ -1,0 +1,21 @@
+#pragma once
+
+/// @file
+/// Shared includes and factory declarations for the workload implementations.
+
+#include <memory>
+
+#include "framework/fused.h"
+#include "framework/functional.h"
+#include "framework/nn.h"
+#include "workloads/input_gen.h"
+#include "workloads/workload.h"
+
+namespace mystique::wl {
+
+std::unique_ptr<Workload> make_param_linear(const WorkloadOptions& opts);
+std::unique_ptr<Workload> make_resnet(const WorkloadOptions& opts);
+std::unique_ptr<Workload> make_asr(const WorkloadOptions& opts);
+std::unique_ptr<Workload> make_rm(const WorkloadOptions& opts);
+
+} // namespace mystique::wl

@@ -1,0 +1,206 @@
+/// Tests for the network cost model and the rendezvous process groups.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/network_model.h"
+#include "comm/process_group.h"
+#include "common/error.h"
+
+namespace mystique::comm {
+namespace {
+
+TEST(NetworkModel, CostIncreasesWithBytes)
+{
+    NetworkModel m;
+    const double t1 = m.collective_us(CollectiveKind::kAllReduce, 1e6, 8, false);
+    const double t2 = m.collective_us(CollectiveKind::kAllReduce, 2e6, 8, false);
+    EXPECT_GT(t2, t1);
+}
+
+TEST(NetworkModel, InterNodeSlower)
+{
+    NetworkModel m;
+    const double intra = m.collective_us(CollectiveKind::kAllReduce, 1e8, 8, false);
+    const double inter = m.collective_us(CollectiveKind::kAllReduce, 1e8, 8, true);
+    EXPECT_GT(inter, intra * 2.0);
+}
+
+TEST(NetworkModel, SingleRankIsCheap)
+{
+    NetworkModel m;
+    EXPECT_LT(m.collective_us(CollectiveKind::kAllReduce, 1e9, 1, false), 20.0);
+}
+
+TEST(NetworkModel, BarrierIsLatencyOnly)
+{
+    NetworkModel m;
+    const double b8 = m.collective_us(CollectiveKind::kBarrier, 0.0, 8, true);
+    EXPECT_LT(b8, 100.0);
+    EXPECT_GT(m.collective_us(CollectiveKind::kBarrier, 0.0, 64, true), b8);
+}
+
+TEST(NetworkModel, AllReduceCostsTwiceAllGather)
+{
+    NetworkModel m;
+    const double ar = m.collective_us(CollectiveKind::kAllReduce, 1e8, 16, false);
+    const double ag = m.collective_us(CollectiveKind::kAllGather, 1e8, 16, false);
+    const double alpha = m.collective_us(CollectiveKind::kAllGather, 0.0, 16, false);
+    EXPECT_NEAR(ar - alpha, 2.0 * (ag - alpha), (ar - alpha) * 0.01);
+}
+
+TEST(NetworkModel, GroupSpansNodes)
+{
+    NetworkModel m; // 8 GPUs/node
+    EXPECT_FALSE(m.group_spans_nodes({0, 1, 7}));
+    EXPECT_TRUE(m.group_spans_nodes({0, 8}));
+    EXPECT_TRUE(m.group_spans_nodes({7, 8}));
+    EXPECT_FALSE(m.group_spans_nodes({}));
+}
+
+class CollectiveKindTest : public ::testing::TestWithParam<CollectiveKind> {};
+
+TEST_P(CollectiveKindTest, MonotoneInWorldSize)
+{
+    // Cost never decreases as the group grows (payload per rank fixed).
+    NetworkModel m;
+    double prev = 0.0;
+    for (int n : {2, 4, 8}) {
+        const double t = m.collective_us(GetParam(), 1e7, n, false);
+        EXPECT_GE(t, prev * 0.999);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, CollectiveKindTest,
+                         ::testing::Values(CollectiveKind::kAllReduce,
+                                           CollectiveKind::kAllGather,
+                                           CollectiveKind::kReduceScatter,
+                                           CollectiveKind::kAllToAll,
+                                           CollectiveKind::kBarrier));
+
+TEST(CommFabric, WorldGroupOnConstruction)
+{
+    CommFabric fabric(4);
+    EXPECT_EQ(fabric.group_ranks(fabric.world_group()), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CommFabric, NewGroupIdempotent)
+{
+    CommFabric fabric(4);
+    const int64_t a = fabric.new_group({1, 2});
+    const int64_t b = fabric.new_group({2, 1});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, fabric.world_group());
+    EXPECT_THROW(fabric.group_ranks(999), ConfigError);
+}
+
+TEST(CommFabric, RendezvousUsesMaxArrival)
+{
+    auto fabric = std::make_shared<CommFabric>(2);
+    CollectiveResult r0, r1;
+    std::thread t0([&] {
+        ProcessGroup pg(fabric, 0, 0);
+        r0 = pg.collective(CollectiveKind::kAllReduce, 1e6, /*arrival=*/100.0);
+    });
+    std::thread t1([&] {
+        ProcessGroup pg(fabric, 0, 1);
+        r1 = pg.collective(CollectiveKind::kAllReduce, 1e6, /*arrival=*/500.0);
+    });
+    t0.join();
+    t1.join();
+    // Both ranks observe the same completion, starting at the last arrival.
+    EXPECT_DOUBLE_EQ(r0.end_us, r1.end_us);
+    EXPECT_DOUBLE_EQ(r0.start_us, 500.0);
+    EXPECT_GT(r0.duration_us, 0.0);
+}
+
+TEST(CommFabric, SequenceKeepsCollectivesSeparate)
+{
+    auto fabric = std::make_shared<CommFabric>(2);
+    std::vector<CollectiveResult> res0, res1;
+    auto run = [&](int rank, std::vector<CollectiveResult>& out) {
+        ProcessGroup pg(fabric, 0, rank);
+        out.push_back(pg.collective(CollectiveKind::kAllReduce, 1e6, 10.0));
+        out.push_back(pg.collective(CollectiveKind::kAllReduce, 2e6, out[0].end_us));
+    };
+    std::thread t0(run, 0, std::ref(res0));
+    std::thread t1(run, 1, std::ref(res1));
+    t0.join();
+    t1.join();
+    EXPECT_DOUBLE_EQ(res0[0].end_us, res1[0].end_us);
+    EXPECT_DOUBLE_EQ(res0[1].end_us, res1[1].end_us);
+    EXPECT_GT(res0[1].end_us, res0[0].end_us);
+}
+
+TEST(CommFabric, MismatchDetectedAsDeadlockHazard)
+{
+    // Ranks disagreeing on the collective at one sequence number is the §4.1
+    // deadlock hazard; both must see the error.
+    auto fabric = std::make_shared<CommFabric>(2);
+    int errors = 0;
+    std::mutex mu;
+    auto run = [&](int rank, CollectiveKind kind) {
+        try {
+            ProcessGroup pg(fabric, 0, rank);
+            pg.collective(kind, 1e6, 0.0);
+        } catch (const ReplayError&) {
+            std::lock_guard<std::mutex> lock(mu);
+            ++errors;
+        }
+    };
+    std::thread t0(run, 0, CollectiveKind::kAllReduce);
+    std::thread t1(run, 1, CollectiveKind::kAllToAll);
+    t0.join();
+    t1.join();
+    EXPECT_EQ(errors, 2);
+}
+
+TEST(ProcessGroup, SubgroupRendezvousOnlyMembers)
+{
+    auto fabric = std::make_shared<CommFabric>(4);
+    const int64_t sub = fabric->new_group({0, 1});
+    CollectiveResult r0, r1;
+    std::thread t0([&] {
+        ProcessGroup pg(fabric, sub, 0);
+        r0 = pg.collective(CollectiveKind::kBroadcast, 1e3, 1.0);
+    });
+    std::thread t1([&] {
+        ProcessGroup pg(fabric, sub, 1);
+        r1 = pg.collective(CollectiveKind::kBroadcast, 1e3, 2.0);
+    });
+    t0.join();
+    t1.join();
+    EXPECT_DOUBLE_EQ(r0.end_us, r1.end_us); // completed without ranks 2/3
+    EXPECT_THROW(ProcessGroup(fabric, sub, 3), InternalError);
+}
+
+TEST(ProcessGroup, EmulatedWorldSizeInflatesCost)
+{
+    // Scale-down emulation (§7.3): 2 actual ranks, costs computed for 64.
+    auto fabric = std::make_shared<CommFabric>(2);
+    CollectiveResult small, emulated;
+    auto run = [&](int rank, int emu, CollectiveResult& out) {
+        ProcessGroup pg(fabric, 0, rank);
+        if (emu > 0)
+            pg.set_emulated_world_size(emu);
+        out = pg.collective(CollectiveKind::kAllReduce, 1e7, 0.0);
+    };
+    {
+        std::thread t0(run, 0, 0, std::ref(small));
+        std::thread t1(run, 1, 0, std::ref(small));
+        t0.join();
+        t1.join();
+    }
+    {
+        std::thread t0(run, 0, 64, std::ref(emulated));
+        std::thread t1(run, 1, 64, std::ref(emulated));
+        t0.join();
+        t1.join();
+    }
+    EXPECT_GT(emulated.duration_us, small.duration_us);
+}
+
+} // namespace
+} // namespace mystique::comm

@@ -1,0 +1,220 @@
+/// Tests for the JSON value type, parser and serializer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.h"
+
+namespace mystique {
+namespace {
+
+TEST(Json, DefaultIsNull)
+{
+    Json j;
+    EXPECT_TRUE(j.is_null());
+    EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, BoolRoundTrip)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_TRUE(Json::parse("true").as_bool());
+    EXPECT_FALSE(Json::parse("false").as_bool());
+}
+
+TEST(Json, IntRoundTrip)
+{
+    EXPECT_EQ(Json(int64_t{42}).dump(), "42");
+    EXPECT_EQ(Json::parse("-17").as_int(), -17);
+    // 64-bit IDs survive exactly (ET node/tensor IDs).
+    const int64_t big = 9007199254740993ll; // 2^53 + 1, breaks doubles
+    EXPECT_EQ(Json::parse(Json(big).dump()).as_int(), big);
+}
+
+TEST(Json, DoubleRoundTrip)
+{
+    const double v = 3.14159265358979;
+    EXPECT_DOUBLE_EQ(Json::parse(Json(v).dump()).as_double(), v);
+    EXPECT_DOUBLE_EQ(Json::parse("2.5e3").as_double(), 2500.0);
+    EXPECT_DOUBLE_EQ(Json::parse("-0.125").as_double(), -0.125);
+}
+
+TEST(Json, IntAsDoubleCoercion)
+{
+    EXPECT_DOUBLE_EQ(Json::parse("7").as_double(), 7.0);
+    EXPECT_EQ(Json::parse("7.0").as_int(), 7);
+}
+
+TEST(Json, StringEscapes)
+{
+    Json j(std::string("a\"b\\c\nd\te"));
+    const std::string text = j.dump();
+    EXPECT_EQ(Json::parse(text).as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, UnicodeEscapeParsing)
+{
+    EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+    // é = U+00E9 → two UTF-8 bytes
+    const std::string s = Json::parse("\"\\u00e9\"").as_string();
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Json, SurrogatePair)
+{
+    // U+1F600 (emoji) via surrogate pair → 4 UTF-8 bytes.
+    const std::string s = Json::parse("\"\\ud83d\\ude00\"").as_string();
+    EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(Json, ArrayRoundTrip)
+{
+    Json arr = Json::array();
+    arr.push_back(Json(1));
+    arr.push_back(Json("x"));
+    arr.push_back(Json());
+    const Json back = Json::parse(arr.dump());
+    ASSERT_EQ(back.as_array().size(), 3u);
+    EXPECT_EQ(back.as_array()[0].as_int(), 1);
+    EXPECT_EQ(back.as_array()[1].as_string(), "x");
+    EXPECT_TRUE(back.as_array()[2].is_null());
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zebra", Json(1));
+    obj.set("alpha", Json(2));
+    const std::string text = obj.dump();
+    EXPECT_LT(text.find("zebra"), text.find("alpha"));
+}
+
+TEST(Json, ObjectSetOverwrites)
+{
+    Json obj = Json::object();
+    obj.set("k", Json(1));
+    obj.set("k", Json(2));
+    EXPECT_EQ(obj.as_object().size(), 1u);
+    EXPECT_EQ(obj.at("k").as_int(), 2);
+}
+
+TEST(Json, FindAndContains)
+{
+    Json obj = Json::object();
+    obj.set("a", Json(1));
+    EXPECT_TRUE(obj.contains("a"));
+    EXPECT_FALSE(obj.contains("b"));
+    EXPECT_EQ(obj.find("b"), nullptr);
+    EXPECT_THROW(obj.at("b"), ParseError);
+}
+
+TEST(Json, GettersWithDefaults)
+{
+    Json obj = Json::object();
+    obj.set("i", Json(5));
+    obj.set("s", Json("str"));
+    obj.set("b", Json(true));
+    EXPECT_EQ(obj.get_int("i", 0), 5);
+    EXPECT_EQ(obj.get_int("missing", -1), -1);
+    EXPECT_EQ(obj.get_string("s", ""), "str");
+    EXPECT_EQ(obj.get_string("missing", "dflt"), "dflt");
+    EXPECT_TRUE(obj.get_bool("b", false));
+    EXPECT_TRUE(obj.get_bool("missing", true));
+}
+
+TEST(Json, NestedStructures)
+{
+    const char* text = R"({"a": [1, {"b": [true, null]}], "c": {"d": 2.5}})";
+    const Json j = Json::parse(text);
+    EXPECT_EQ(j.at("a").as_array()[1].at("b").as_array().size(), 2u);
+    EXPECT_DOUBLE_EQ(j.at("c").at("d").as_double(), 2.5);
+    // Round-trip through compact and pretty forms.
+    EXPECT_EQ(Json::parse(j.dump()), j);
+    EXPECT_EQ(Json::parse(j.dump(2)), j);
+}
+
+TEST(Json, WhitespaceTolerance)
+{
+    const Json j = Json::parse("  {  \"a\"  :  [ 1 , 2 ]  }  \n");
+    EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_TRUE(Json::parse("[]").as_array().empty());
+    EXPECT_TRUE(Json::parse("{}").as_object().empty());
+    EXPECT_EQ(Json::parse("[]").dump(), "[]");
+    EXPECT_EQ(Json::parse("{}").dump(), "{}");
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(Json::parse(""), ParseError);
+    EXPECT_THROW(Json::parse("{"), ParseError);
+    EXPECT_THROW(Json::parse("[1,"), ParseError);
+    EXPECT_THROW(Json::parse("{\"a\" 1}"), ParseError);
+    EXPECT_THROW(Json::parse("tru"), ParseError);
+    EXPECT_THROW(Json::parse("1 2"), ParseError);
+    EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+    EXPECT_THROW(Json::parse("-"), ParseError);
+    EXPECT_THROW(Json::parse("[1] trailing"), ParseError);
+}
+
+TEST(Json, ParseErrorReportsPosition)
+{
+    try {
+        Json::parse("{\n  \"a\": oops\n}");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos);
+    }
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    const Json j = Json::parse("42");
+    EXPECT_THROW(j.as_string(), ParseError);
+    EXPECT_THROW(j.as_array(), ParseError);
+    EXPECT_THROW(j.as_object(), ParseError);
+    EXPECT_THROW(Json::parse("1.5").as_int(), ParseError);
+}
+
+TEST(Json, FileRoundTrip)
+{
+    Json obj = Json::object();
+    obj.set("key", Json(123));
+    const std::string path = testing::TempDir() + "/mystique_json_test.json";
+    obj.dump_file(path);
+    EXPECT_EQ(Json::parse_file(path), obj);
+}
+
+TEST(Json, ParseFileMissingThrows)
+{
+    EXPECT_THROW(Json::parse_file("/nonexistent/path/file.json"), ParseError);
+}
+
+TEST(Json, NumericEquality)
+{
+    EXPECT_EQ(Json(2), Json(2.0));
+    EXPECT_NE(Json(2), Json(3));
+    EXPECT_NE(Json(2), Json("2"));
+}
+
+TEST(Json, NanSerializesAsNull)
+{
+    const Json j(std::nan(""));
+    EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, PrettyPrintIndents)
+{
+    Json obj = Json::object();
+    obj.set("a", Json(1));
+    const std::string text = obj.dump(4);
+    EXPECT_NE(text.find("\n    \"a\""), std::string::npos);
+}
+
+} // namespace
+} // namespace mystique

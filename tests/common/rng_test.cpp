@@ -1,0 +1,150 @@
+/// Tests for the deterministic RNG and its distributions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace mystique {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = r.uniform_int(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+    EXPECT_EQ(r.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntUnbiasedish)
+{
+    Rng r(11);
+    std::map<int64_t, int> counts;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.uniform_int(0, 5)];
+    for (const auto& [v, c] : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 6.0, 0.02);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShifted)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng r(19);
+    for (int i = 0; i < 5000; ++i) {
+        const int64_t v = r.zipf(100, 1.1);
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 100);
+    }
+}
+
+TEST(Rng, ZipfSkewsTowardSmallRanks)
+{
+    Rng r(23);
+    const int n = 50000;
+    int head = 0;
+    for (int i = 0; i < n; ++i)
+        head += r.zipf(1000, 1.2) < 10 ? 1 : 0;
+    // Under uniform the head would get ~1%; Zipf 1.2 concentrates far more.
+    EXPECT_GT(static_cast<double>(head) / n, 0.25);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform)
+{
+    Rng r(29);
+    const int n = 50000;
+    int head = 0;
+    for (int i = 0; i < n; ++i)
+        head += r.zipf(1000, 0.0) < 10 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(head) / n, 0.01, 0.005);
+}
+
+TEST(Rng, ZipfMatchesTheoreticalHeadMass)
+{
+    Rng r(31);
+    const int64_t n_rows = 100;
+    const double s = 1.0;
+    const int draws = 100000;
+    int rank0 = 0;
+    for (int i = 0; i < draws; ++i)
+        rank0 += r.zipf(n_rows, s) == 0 ? 1 : 0;
+    double h = 0.0;
+    for (int64_t k = 1; k <= n_rows; ++k)
+        h += 1.0 / static_cast<double>(k);
+    EXPECT_NEAR(static_cast<double>(rank0) / draws, 1.0 / h, 0.01);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(37);
+    Rng child = parent.fork();
+    // Child stream differs from the parent's continuation.
+    EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+TEST(Rng, FillUniform)
+{
+    Rng r(41);
+    std::vector<float> v(1000);
+    r.fill_uniform(v, -1.0f, 1.0f);
+    for (float x : v) {
+        EXPECT_GE(x, -1.0f);
+        EXPECT_LT(x, 1.0f);
+    }
+}
+
+} // namespace
+} // namespace mystique

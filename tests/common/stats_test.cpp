@@ -1,0 +1,77 @@
+/// Tests for the numerical-summary helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "common/stats.h"
+
+namespace mystique {
+namespace {
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSample)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Percentile, Median)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, Extremes)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, OutOfRangeThrows)
+{
+    EXPECT_THROW(percentile({1.0}, -1.0), InternalError);
+    EXPECT_THROW(percentile({1.0}, 101.0), InternalError);
+}
+
+TEST(RelativeError, Basics)
+{
+    EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+    EXPECT_DOUBLE_EQ(relative_error(9.0, 10.0), 0.1);
+    EXPECT_DOUBLE_EQ(relative_error(5.0, 0.0), 5.0);
+    EXPECT_DOUBLE_EQ(relative_error(10.0, 10.0), 0.0);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_THROW(geomean({1.0, -1.0}), InternalError);
+}
+
+} // namespace
+} // namespace mystique

@@ -1,0 +1,84 @@
+/// Tests for string helpers used by the schema and IR parsers.
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace mystique {
+namespace {
+
+TEST(Split, Basic)
+{
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyTokens)
+{
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTopLevel, RespectsBrackets)
+{
+    // The schema-parsing use case: defaults containing commas.
+    const auto parts = split_top_level("int[2] stride=[1, 1], int pad=0", ',');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0], "int[2] stride=[1, 1]");
+}
+
+TEST(SplitTopLevel, RespectsParens)
+{
+    const auto parts = split_top_level("f(a, b), g(c)", ',');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0], "f(a, b)");
+}
+
+TEST(SplitTopLevel, NestedDepth)
+{
+    const auto parts = split_top_level("a(b[c, d], e), f", ',');
+    ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(Trim, Basics)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("\t\na b\r "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basics)
+{
+    EXPECT_TRUE(starts_with("aten::add", "aten::"));
+    EXPECT_FALSE(starts_with("at", "aten::"));
+    EXPECT_TRUE(ends_with("file.json", ".json"));
+    EXPECT_FALSE(ends_with(".js", ".json"));
+}
+
+TEST(Join, Basics)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strprintf, Formats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+}
+
+TEST(FormatUs, Scales)
+{
+    EXPECT_EQ(format_us(12.0), "12.00 us");
+    EXPECT_EQ(format_us(12345.0), "12.35 ms");
+    EXPECT_EQ(format_us(2.5e6), "2.50 s");
+}
+
+} // namespace
+} // namespace mystique

@@ -1,0 +1,194 @@
+/// Tests for operator selection (§4.2) and coverage accounting (§6.3).
+
+#include <gtest/gtest.h>
+
+#include "core/selection.h"
+#include "framework/op_registry.h"
+
+namespace mystique::core {
+namespace {
+
+et::Node
+node(int64_t id, const std::string& name, int64_t parent, et::NodeKind kind,
+     dev::OpCategory cat = dev::OpCategory::kATen)
+{
+    et::Node n;
+    n.id = id;
+    n.name = name;
+    n.parent = parent;
+    n.kind = kind;
+    n.category = cat;
+    if (kind == et::NodeKind::kOperator && cat != dev::OpCategory::kFused)
+        n.op_schema = name + "(Tensor self) -> Tensor";
+    return n;
+}
+
+/// linear → (t, addmm) with a record_function wrapper above, plus a fused op.
+et::ExecutionTrace
+sample_trace()
+{
+    et::ExecutionTrace t;
+    t.add_node(node(0, "## fwd ##", -1, et::NodeKind::kWrapper, dev::OpCategory::kOther));
+    // use real registered names so is_replayable() passes
+    et::Node lin = node(1, "aten::linear", 0, et::NodeKind::kOperator);
+    lin.op_schema = "aten::linear(Tensor input, Tensor weight, Tensor? bias=None) -> Tensor";
+    t.add_node(lin);
+    et::Node tn = node(2, "aten::t", 1, et::NodeKind::kOperator);
+    tn.op_schema = "aten::t(Tensor(a) self) -> Tensor(a)";
+    t.add_node(tn);
+    et::Node mm = node(3, "aten::addmm", 1, et::NodeKind::kOperator);
+    mm.op_schema = "aten::addmm(Tensor self, Tensor mat1, Tensor mat2, *, Scalar beta=1, "
+                   "Scalar alpha=1) -> Tensor";
+    t.add_node(mm);
+    t.add_node(node(4, "fused::x", 0, et::NodeKind::kOperator, dev::OpCategory::kFused));
+    et::Node relu = node(5, "aten::relu", -1, et::NodeKind::kOperator);
+    relu.op_schema = "aten::relu(Tensor self) -> Tensor";
+    t.add_node(relu);
+    return t;
+}
+
+TEST(Selection, KeepsParentSkipsChildren)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults());
+    // Selected: linear (1), fused (4), relu (5). NOT t/addmm (children of 1),
+    // NOT the wrapper.
+    std::vector<int64_t> ids;
+    for (const auto& op : sel.ops)
+        ids.push_back(op.node_id);
+    EXPECT_EQ(ids, (std::vector<int64_t>{1, 4, 5}));
+}
+
+TEST(Selection, WrappersAreTransparent)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults());
+    // linear sits under a wrapper but is still selected ("Replay targets").
+    EXPECT_EQ(sel.ops[0].node_id, 1);
+    EXPECT_TRUE(sel.ops[0].supported);
+}
+
+TEST(Selection, FusedUnsupported)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults());
+    EXPECT_FALSE(sel.ops[1].supported); // fused::x — no schema in the ET
+    EXPECT_EQ(sel.total_supported(), 2);
+}
+
+TEST(Selection, SubtreeIdsCoverDescendants)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults());
+    const auto& subtree = sel.subtree_ids.at(1);
+    EXPECT_EQ(subtree, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(Selection, SubtraceFilter)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    SelectionFilter f;
+    f.subtrace_root = "## fwd ##";
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults(), f);
+    // relu (id 5) sits outside the wrapper → excluded.
+    std::vector<int64_t> ids;
+    for (const auto& op : sel.ops)
+        ids.push_back(op.node_id);
+    EXPECT_EQ(ids, (std::vector<int64_t>{1, 4}));
+}
+
+TEST(Selection, MissingSubtraceRootThrows)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    SelectionFilter f;
+    f.subtrace_root = "## nope ##";
+    EXPECT_THROW(select_ops(t, CustomOpRegistry::with_defaults(), f), ReplayError);
+}
+
+TEST(Selection, CategoryFilter)
+{
+    fw::ensure_ops_registered();
+    et::ExecutionTrace t = sample_trace();
+    et::Node comm = node(6, "c10d::all_reduce", -1, et::NodeKind::kOperator,
+                         dev::OpCategory::kComm);
+    comm.op_schema = "c10d::all_reduce(Tensor tensor, int pg) -> Tensor";
+    t.add_node(comm);
+    SelectionFilter f;
+    f.only_category = dev::OpCategory::kComm;
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults(), f);
+    ASSERT_EQ(sel.ops.size(), 1u);
+    EXPECT_EQ(sel.ops[0].node_id, 6);
+}
+
+TEST(CustomRegistry, GatesCustomOps)
+{
+    fw::ensure_ops_registered();
+    et::Node lstm = node(0, "fairseq::lstm_layer", -1, et::NodeKind::kOperator,
+                         dev::OpCategory::kCustom);
+    lstm.op_schema =
+        "fairseq::lstm_layer(Tensor input, Tensor w_ih, Tensor w_hh, Tensor bias) -> Tensor";
+    EXPECT_FALSE(is_replayable(lstm, CustomOpRegistry::with_defaults()));
+    CustomOpRegistry reg = CustomOpRegistry::with_defaults();
+    reg.register_op("fairseq::lstm_layer");
+    EXPECT_TRUE(is_replayable(lstm, reg));
+    CustomOpRegistry ns = CustomOpRegistry::empty();
+    ns.register_namespace("fairseq::");
+    EXPECT_TRUE(is_replayable(lstm, ns));
+}
+
+TEST(CustomRegistry, FbgemmSupportedByDefault)
+{
+    fw::ensure_ops_registered();
+    et::Node fb = node(0, "fbgemm::batched_embedding_lookup", -1, et::NodeKind::kOperator,
+                       dev::OpCategory::kCustom);
+    fb.op_schema = "fbgemm::batched_embedding_lookup(Tensor weights, Tensor indices, "
+                   "Tensor offsets, int num_tables) -> Tensor";
+    EXPECT_TRUE(is_replayable(fb, CustomOpRegistry::with_defaults()));
+    EXPECT_FALSE(is_replayable(fb, CustomOpRegistry::empty()));
+}
+
+TEST(Coverage, CountFraction)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults());
+    const CoverageStats cov = coverage(t, sel, nullptr);
+    EXPECT_EQ(cov.selected_ops, 3);
+    EXPECT_EQ(cov.supported_ops, 2);
+    EXPECT_NEAR(cov.count_fraction, 2.0 / 3.0, 1e-9);
+    EXPECT_EQ(cov.unsupported_by_name.at("fused::x"), 1);
+}
+
+TEST(Coverage, TimeFractionFromProfiler)
+{
+    fw::ensure_ops_registered();
+    const et::ExecutionTrace t = sample_trace();
+    const Selection sel = select_ops(t, CustomOpRegistry::with_defaults());
+    prof::ProfilerTrace p;
+    // addmm (child of supported linear) runs 90us; fused runs 10us.
+    prof::KernelEvent k1;
+    k1.name = "sgemm";
+    k1.ts = 0;
+    k1.dur = 90;
+    k1.correlation = 3;
+    p.add_kernel(k1);
+    prof::KernelEvent k2;
+    k2.name = "nvfuser";
+    k2.ts = 90;
+    k2.dur = 10;
+    k2.correlation = 4;
+    p.add_kernel(k2);
+    const CoverageStats cov = coverage(t, sel, &p);
+    EXPECT_NEAR(cov.time_fraction, 0.9, 1e-9);
+    EXPECT_NEAR(cov.unsupported_kernel_us, 10.0, 1e-9);
+    EXPECT_NEAR(cov.unsupported_exposed_us, 10.0, 1e-9); // no overlap
+}
+
+} // namespace
+} // namespace mystique::core

@@ -1,0 +1,257 @@
+/// Tests for ET nodes, serialization, the observer, and the trace database.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "et/node.h"
+#include "et/trace.h"
+#include "et/trace_db.h"
+
+namespace mystique::et {
+namespace {
+
+TensorMeta
+meta(int64_t id, std::vector<int64_t> shape)
+{
+    TensorMeta m;
+    m.tensor_id = id;
+    m.storage_id = id + 1000;
+    m.numel = 1;
+    for (int64_t d : shape)
+        m.numel *= d;
+    m.shape = std::move(shape);
+    return m;
+}
+
+Node
+op_node(int64_t id, const std::string& name, int64_t parent = -1)
+{
+    Node n;
+    n.id = id;
+    n.name = name;
+    n.parent = parent;
+    n.kind = NodeKind::kOperator;
+    n.op_schema = name + "(Tensor self) -> Tensor";
+    return n;
+}
+
+TEST(TensorMeta, JsonRoundTripSixTuple)
+{
+    TensorMeta m = meta(7, {2, 3});
+    m.device = "cuda:1";
+    m.dtype = "int64";
+    m.itemsize = 8;
+    m.offset = 4;
+    const TensorMeta back = TensorMeta::from_json(m.to_json());
+    EXPECT_EQ(back, m);
+    // The serialized ID is the paper's six-element tuple.
+    EXPECT_EQ(m.to_json().at("id").as_array().size(), 6u);
+}
+
+TEST(TensorMeta, RejectsBadTuple)
+{
+    Json j = meta(1, {1}).to_json();
+    j.set("id", Json(Json::Array{Json(1), Json(2)}));
+    EXPECT_THROW(TensorMeta::from_json(j), ParseError);
+}
+
+TEST(Argument, AllKindsRoundTrip)
+{
+    const std::vector<Argument> args = {
+        Argument::none(),
+        Argument::from_int(42),
+        Argument::from_double(2.5),
+        Argument::from_bool(true),
+        Argument::from_string("cuda:0"),
+        Argument::from_int_list({1, 2, 3}),
+        Argument::from_tensor(meta(1, {4})),
+        Argument::from_tensor_list({meta(2, {1}), meta(3, {2})}),
+    };
+    for (const auto& a : args) {
+        const Argument back = Argument::from_json(a.to_json());
+        EXPECT_EQ(back.kind, a.kind);
+        EXPECT_EQ(back.int_value, a.int_value);
+        EXPECT_EQ(back.double_value, a.double_value);
+        EXPECT_EQ(back.tensors.size(), a.tensors.size());
+        EXPECT_EQ(back.int_list, a.int_list);
+        EXPECT_EQ(back.string_value, a.string_value);
+    }
+}
+
+TEST(Node, JsonRoundTrip)
+{
+    Node n = op_node(5, "aten::relu", 2);
+    n.tid = 2;
+    n.category = dev::OpCategory::kATen;
+    n.inputs.push_back(Argument::from_tensor(meta(1, {8})));
+    n.outputs.push_back(Argument::from_tensor(meta(2, {8})));
+    n.pg_id = 3;
+    const Node back = Node::from_json(n.to_json());
+    EXPECT_EQ(back.id, 5);
+    EXPECT_EQ(back.name, "aten::relu");
+    EXPECT_EQ(back.parent, 2);
+    EXPECT_EQ(back.tid, 2);
+    EXPECT_EQ(back.pg_id, 3);
+    EXPECT_EQ(back.inputs.size(), 1u);
+    EXPECT_EQ(back.op_schema, n.op_schema);
+}
+
+TEST(ExecutionTrace, AddAndFind)
+{
+    ExecutionTrace t;
+    t.add_node(op_node(0, "a"));
+    t.add_node(op_node(1, "b", 0));
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.find(1)->name, "b");
+    EXPECT_EQ(t.find(9), nullptr);
+    EXPECT_EQ(t.children(0), std::vector<int64_t>{1});
+    EXPECT_EQ(t.find_by_name("b")->id, 1);
+    EXPECT_EQ(t.find_by_name("zzz"), nullptr);
+}
+
+TEST(ExecutionTrace, RejectsNonMonotoneIds)
+{
+    ExecutionTrace t;
+    t.add_node(op_node(5, "a"));
+    EXPECT_THROW(t.add_node(op_node(3, "b")), InternalError);
+}
+
+TEST(ExecutionTrace, SaveLoadRoundTrip)
+{
+    ExecutionTrace t;
+    t.meta().workload = "unit";
+    t.meta().rank = 3;
+    t.meta().world_size = 8;
+    t.meta().process_groups[0] = {0, 1, 2};
+    t.add_node(op_node(0, "aten::relu"));
+    const std::string path = testing::TempDir() + "/trace_roundtrip.json";
+    t.save(path);
+    const ExecutionTrace back = ExecutionTrace::load(path);
+    EXPECT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.meta().workload, "unit");
+    EXPECT_EQ(back.meta().rank, 3);
+    EXPECT_EQ(back.meta().process_groups.at(0), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ExecutionTrace, FingerprintStableUnderReorderOfCounts)
+{
+    ExecutionTrace a, b;
+    a.add_node(op_node(0, "x"));
+    a.add_node(op_node(1, "y"));
+    b.add_node(op_node(0, "y"));
+    b.add_node(op_node(1, "x"));
+    EXPECT_EQ(a.fingerprint(), b.fingerprint()); // histogram-based
+    ExecutionTrace c;
+    c.add_node(op_node(0, "x"));
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(Observer, SortsCompletionOrderIntoIdOrder)
+{
+    ExecutionTraceObserver obs;
+    obs.start();
+    // Children complete before parents: record out of order.
+    obs.record(op_node(2, "child", 1));
+    obs.record(op_node(1, "parent"));
+    obs.stop();
+    ASSERT_EQ(obs.trace().size(), 2u);
+    EXPECT_EQ(obs.trace().nodes()[0].id, 1);
+    EXPECT_EQ(obs.trace().nodes()[1].id, 2);
+}
+
+TEST(Observer, InactiveRecordThrows)
+{
+    ExecutionTraceObserver obs;
+    EXPECT_THROW(obs.record(op_node(0, "x")), InternalError);
+}
+
+TEST(Observer, RegisterCallbackWritesFile)
+{
+    const std::string path = testing::TempDir() + "/observer_out.json";
+    ExecutionTraceObserver obs;
+    obs.register_callback(path);
+    obs.start();
+    obs.record(op_node(0, "aten::relu"));
+    obs.stop();
+    EXPECT_EQ(ExecutionTrace::load(path).size(), 1u);
+}
+
+TEST(TraceDb, AnalyzeGroupsByFingerprint)
+{
+    TraceDatabase db;
+    for (int i = 0; i < 3; ++i) {
+        ExecutionTrace t;
+        t.meta().workload = "common";
+        t.add_node(op_node(0, "a"));
+        db.add(std::move(t));
+    }
+    ExecutionTrace rare;
+    rare.meta().workload = "rare";
+    rare.add_node(op_node(0, "b"));
+    db.add(std::move(rare));
+
+    const auto groups = db.analyze();
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].members.size(), 3u);
+    EXPECT_DOUBLE_EQ(groups[0].population_weight, 0.75);
+    EXPECT_EQ(groups[0].representative_workload, "common");
+
+    const auto top = db.select_top(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(db.trace(top[0]).meta().workload, "common");
+}
+
+TEST(TraceDb, LoadDirectorySkipsGarbage)
+{
+    const std::string dir = testing::TempDir() + "/etdb";
+    std::filesystem::create_directories(dir);
+    ExecutionTrace t;
+    t.add_node(op_node(0, "a"));
+    t.save(dir + "/good.json");
+    {
+        std::ofstream bad(dir + "/bad.json");
+        bad << "{not json";
+    }
+    TraceDatabase db;
+    EXPECT_EQ(db.load_directory(dir), 1u);
+}
+
+TEST(Builder, RenumbersDensely)
+{
+    ExecutionTrace t;
+    t.add_node(op_node(10, "a"));
+    t.add_node(op_node(20, "b", 10));
+    const ExecutionTrace built = build_trace(t);
+    EXPECT_EQ(built.nodes()[0].id, 0);
+    EXPECT_EQ(built.nodes()[1].id, 1);
+    EXPECT_EQ(built.nodes()[1].parent, 0);
+}
+
+TEST(Builder, RejectsUnknownParent)
+{
+    ExecutionTrace t;
+    t.add_node(op_node(0, "a", 99));
+    EXPECT_THROW(build_trace(t), ParseError);
+}
+
+TEST(Builder, RejectsOperatorWithoutSchemaUnlessFused)
+{
+    ExecutionTrace t;
+    Node n = op_node(0, "mystery");
+    n.op_schema.clear();
+    t.add_node(n);
+    EXPECT_THROW(build_trace(t), ParseError);
+
+    ExecutionTrace t2;
+    Node fused = op_node(0, "fused::x");
+    fused.op_schema.clear();
+    fused.category = dev::OpCategory::kFused;
+    t2.add_node(fused);
+    EXPECT_NO_THROW(build_trace(t2)); // fused ops legitimately lack schemas
+}
+
+} // namespace
+} // namespace mystique::et

@@ -1,0 +1,296 @@
+/// Tests for the Session: dispatch, ET recording, profiler events, wrapper
+#include <cstring>
+#include "framework/math.h"
+/// scopes, virtual clocks, stream overrides, and kernel dependencies.
+
+#include <gtest/gtest.h>
+
+#include "et/trace.h"
+#include "framework/functional.h"
+#include "framework/session.h"
+#include "profiler/profiler.h"
+
+namespace mystique::fw {
+namespace {
+
+SessionOptions
+tiny_opts()
+{
+    SessionOptions o;
+    o.mode = ExecMode::kNumeric;
+    o.seed = 1;
+    return o;
+}
+
+Tensor
+device_tensor(Session& s, Shape shape)
+{
+    Tensor t = s.alloc(std::move(shape));
+    if (s.numeric())
+        math::randn(t.f32(), t.numel(), s.rng(), 1.0f);
+    return t;
+}
+
+TEST(Session, CallProducesOutput)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {4});
+    Tensor b = device_tensor(s, {4});
+    Tensor out = F::add(s, a, b);
+    ASSERT_TRUE(out.defined());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(out.f32()[i], a.f32()[i] + b.f32()[i]);
+}
+
+TEST(Session, UnknownOpThrows)
+{
+    Session s(tiny_opts());
+    EXPECT_THROW(s.call("aten::frobnicate", {}), ReplayError);
+}
+
+TEST(Session, CpuClockAdvancesPerOp)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {4});
+    const double before = s.cpu_now();
+    F::relu(s, a);
+    EXPECT_GT(s.cpu_now(), before);
+}
+
+TEST(Session, EtRecordsOperatorNodes)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {4});
+    et::ExecutionTraceObserver obs;
+    s.attach_et_observer(&obs);
+    obs.start();
+    F::relu(s, a);
+    obs.stop();
+    ASSERT_EQ(obs.trace().size(), 1u);
+    const et::Node& n = obs.trace().nodes()[0];
+    EXPECT_EQ(n.name, "aten::relu");
+    EXPECT_EQ(n.kind, et::NodeKind::kOperator);
+    EXPECT_FALSE(n.op_schema.empty());
+    ASSERT_EQ(n.inputs.size(), 1u);
+    EXPECT_EQ(n.inputs[0].tensors[0].shape, Shape({4}));
+    ASSERT_EQ(n.outputs.size(), 1u);
+}
+
+TEST(Session, CompositeRecordsParentAndChildren)
+{
+    Session s(tiny_opts());
+    Tensor x = device_tensor(s, {2, 3});
+    Tensor w = device_tensor(s, {4, 3});
+    Tensor b = device_tensor(s, {4});
+    et::ExecutionTraceObserver obs;
+    s.attach_et_observer(&obs);
+    obs.start();
+    F::linear(s, x, w, b);
+    obs.stop();
+    // linear → t + addmm, all recorded, children pointing at the parent.
+    const auto& nodes = obs.trace().nodes();
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes[0].name, "aten::linear");
+    EXPECT_EQ(nodes[1].name, "aten::t");
+    EXPECT_EQ(nodes[2].name, "aten::addmm");
+    EXPECT_EQ(nodes[1].parent, nodes[0].id);
+    EXPECT_EQ(nodes[2].parent, nodes[0].id);
+    EXPECT_EQ(nodes[0].parent, -1);
+}
+
+TEST(Session, NodeIdsIncreaseWithExecutionOrder)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {4});
+    et::ExecutionTraceObserver obs;
+    s.attach_et_observer(&obs);
+    obs.start();
+    F::relu(s, a);
+    F::sigmoid(s, a);
+    obs.stop();
+    const auto& nodes = obs.trace().nodes();
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_LT(nodes[0].id, nodes[1].id);
+}
+
+TEST(Session, TensorIdsTrackIdentity)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {4});
+    et::ExecutionTraceObserver obs;
+    s.attach_et_observer(&obs);
+    obs.start();
+    Tensor b = F::relu(s, a);
+    F::sigmoid(s, b);
+    obs.stop();
+    const auto& nodes = obs.trace().nodes();
+    // relu's output ID == sigmoid's input ID (dependency tracking, §4.4).
+    EXPECT_EQ(nodes[0].outputs[0].tensors[0].tensor_id,
+              nodes[1].inputs[0].tensors[0].tensor_id);
+    // a (external) got an ID distinct from the intermediate.
+    EXPECT_NE(nodes[0].inputs[0].tensors[0].tensor_id,
+              nodes[0].outputs[0].tensors[0].tensor_id);
+}
+
+TEST(Session, InPlaceKeepsTensorId)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {4});
+    Tensor b = device_tensor(s, {4});
+    et::ExecutionTraceObserver obs;
+    s.attach_et_observer(&obs);
+    obs.start();
+    s.call("aten::add_.Tensor", {IValue(a), IValue(b), IValue(1.0)});
+    obs.stop();
+    const et::Node& n = obs.trace().nodes()[0];
+    EXPECT_EQ(n.inputs[0].tensors[0].tensor_id, n.outputs[0].tensors[0].tensor_id);
+}
+
+TEST(Session, WrapperScopesRecorded)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {4});
+    et::ExecutionTraceObserver obs;
+    s.attach_et_observer(&obs);
+    obs.start();
+    {
+        RecordFunction rf(s, "## forward:test ##");
+        F::relu(s, a);
+    }
+    obs.stop();
+    const auto& nodes = obs.trace().nodes();
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0].name, "## forward:test ##");
+    EXPECT_EQ(nodes[0].kind, et::NodeKind::kWrapper);
+    EXPECT_TRUE(nodes[0].op_schema.empty());
+    EXPECT_EQ(nodes[1].parent, nodes[0].id);
+}
+
+TEST(Session, ProfilerRecordsCpuAndKernelEvents)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {64});
+    prof::ProfilerSession p;
+    s.attach_profiler(&p);
+    p.start();
+    F::relu(s, a);
+    p.stop();
+    ASSERT_EQ(p.trace().cpu_ops().size(), 1u);
+    ASSERT_EQ(p.trace().kernels().size(), 1u);
+    // Correlation links the kernel back to the op's node ID.
+    EXPECT_EQ(p.trace().kernels()[0].correlation, p.trace().cpu_ops()[0].node_id);
+    EXPECT_GT(p.trace().kernels()[0].dur, 0.0);
+}
+
+TEST(Session, KernelWaitsForInputs)
+{
+    Session s(tiny_opts());
+    prof::ProfilerSession p;
+    s.attach_profiler(&p);
+    Tensor host = Tensor::create({1 << 16}, DType::kFloat32, true);
+    host.impl()->device = "cpu";
+    p.start();
+    Tensor dev_t = F::to_device(s, host); // memcpy on stream 22
+    Tensor out = F::relu(s, dev_t);       // compute on stream 7, depends on it
+    p.stop();
+    const auto& ks = p.trace().kernels();
+    ASSERT_EQ(ks.size(), 2u);
+    EXPECT_EQ(ks[0].stream, dev::kMemcpyStream);
+    EXPECT_EQ(ks[1].stream, dev::kComputeStream);
+    // Cross-stream dependency: relu cannot start before the copy finishes.
+    EXPECT_GE(ks[1].ts, ks[0].ts + ks[0].dur);
+}
+
+TEST(Session, StreamOverrideRedirectsKernels)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {16});
+    prof::ProfilerSession p;
+    s.attach_profiler(&p);
+    p.start();
+    s.set_stream_override(42);
+    F::relu(s, a);
+    s.set_stream_override(std::nullopt);
+    F::relu(s, a);
+    p.stop();
+    ASSERT_EQ(p.trace().kernels().size(), 2u);
+    EXPECT_EQ(p.trace().kernels()[0].stream, 42);
+    EXPECT_EQ(p.trace().kernels()[1].stream, dev::kComputeStream);
+}
+
+TEST(Session, SyncDeviceJoinsStreams)
+{
+    Session s(tiny_opts());
+    Tensor a = device_tensor(s, {1 << 18});
+    F::relu(s, a);
+    const double synced = s.sync_device();
+    EXPECT_GE(synced, s.device().sync_all());
+    EXPECT_DOUBLE_EQ(s.cpu_now(), synced);
+}
+
+TEST(Session, CpuPlatformBlocksOnKernels)
+{
+    SessionOptions o = tiny_opts();
+    o.platform = dev::cpu();
+    Session s(o);
+    Tensor a = device_tensor(s, {1 << 16});
+    const double before = s.cpu_now();
+    F::relu(s, a);
+    // On CPU platforms the host blocks for the kernel duration.
+    EXPECT_DOUBLE_EQ(s.cpu_now(), s.device().sync_all());
+    EXPECT_GT(s.cpu_now(), before);
+}
+
+TEST(Session, ThreadSwitchHandoff)
+{
+    Session s(tiny_opts());
+    s.cpu_advance(100.0);
+    s.switch_thread(kAutogradThread);
+    EXPECT_DOUBLE_EQ(s.cpu_now(), 100.0); // autograd starts at handoff point
+    s.cpu_advance(50.0);
+    s.switch_thread(kMainThread);
+    EXPECT_DOUBLE_EQ(s.cpu_now(), 150.0); // main joins on autograd finish
+}
+
+TEST(Session, ShapeOnlySkipsFloatMaterialization)
+{
+    SessionOptions o = tiny_opts();
+    o.mode = ExecMode::kShapeOnly;
+    Session s(o);
+    Tensor f = s.alloc({1024});
+    EXPECT_FALSE(f.materialized());
+    Tensor i = s.alloc({16}, DType::kInt64);
+    EXPECT_TRUE(i.materialized()); // index tensors stay real (§4.4)
+}
+
+TEST(Session, ReplayDispatchProfileDiffers)
+{
+    SessionOptions eager = tiny_opts();
+    SessionOptions replay = tiny_opts();
+    replay.dispatch = DispatchProfile::replay();
+    Session se(eager), sr(replay);
+    Tensor a = device_tensor(se, {4});
+    Tensor b = device_tensor(sr, {4});
+    const double e0 = se.cpu_now();
+    F::relu(se, a);
+    const double eager_cost = se.cpu_now() - e0;
+    const double r0 = sr.cpu_now();
+    F::relu(sr, b);
+    const double replay_cost = sr.cpu_now() - r0;
+    // Replay pays more per-op dispatch but no wrapper frames (§5).
+    EXPECT_GT(replay_cost, eager_cost);
+}
+
+TEST(Session, ProcessGroupRegistry)
+{
+    Session s(tiny_opts());
+    EXPECT_FALSE(s.has_process_group(0));
+    EXPECT_THROW(s.process_group(0), ConfigError);
+    auto fabric = std::make_shared<comm::CommFabric>(1);
+    s.add_process_group(0, std::make_shared<comm::ProcessGroup>(fabric, 0, 0));
+    EXPECT_TRUE(s.has_process_group(0));
+    EXPECT_EQ(s.process_group_defs().at(0), std::vector<int>{0});
+}
+
+} // namespace
+} // namespace mystique::fw

@@ -1,0 +1,125 @@
+/// Tests for Tensor/Storage/IValue.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "framework/ivalue.h"
+#include "framework/tensor.h"
+
+namespace mystique::fw {
+namespace {
+
+TEST(Tensor, UndefinedByDefault)
+{
+    Tensor t;
+    EXPECT_FALSE(t.defined());
+}
+
+TEST(Tensor, CreateMaterialized)
+{
+    Tensor t = Tensor::create({2, 3}, DType::kFloat32, true);
+    EXPECT_TRUE(t.defined());
+    EXPECT_TRUE(t.materialized());
+    EXPECT_EQ(t.numel(), 6);
+    EXPECT_EQ(t.nbytes(), 24);
+    t.f32()[5] = 7.0f;
+    EXPECT_FLOAT_EQ(t.f32()[5], 7.0f);
+}
+
+TEST(Tensor, CreateShapeOnly)
+{
+    Tensor t = Tensor::create({128, 1024}, DType::kFloat32, false);
+    EXPECT_FALSE(t.materialized());
+    EXPECT_EQ(t.numel(), 128 * 1024);
+}
+
+TEST(Tensor, Int64Data)
+{
+    Tensor t = Tensor::create({4}, DType::kInt64, true);
+    t.i64()[0] = 42;
+    EXPECT_EQ(t.i64()[0], 42);
+    EXPECT_THROW(t.f32(), InternalError);
+}
+
+TEST(Tensor, ViewSharesStorage)
+{
+    Tensor t = Tensor::create({2, 6}, DType::kFloat32, true);
+    Tensor v = t.view_as({3, 4});
+    EXPECT_EQ(v.impl()->storage->id(), t.impl()->storage->id());
+    EXPECT_EQ(v.numel(), t.numel());
+    EXPECT_THROW(t.view_as({5, 5}), InternalError);
+}
+
+TEST(Tensor, HandleSemantics)
+{
+    Tensor t = Tensor::create({1}, DType::kFloat32, true);
+    Tensor copy = t;
+    copy.f32()[0] = 3.0f;
+    EXPECT_FLOAT_EQ(t.f32()[0], 3.0f);
+    EXPECT_EQ(t, copy);
+}
+
+TEST(Tensor, StorageIdsUnique)
+{
+    Tensor a = Tensor::create({1}, DType::kFloat32, true);
+    Tensor b = Tensor::create({1}, DType::kFloat32, true);
+    EXPECT_NE(a.impl()->storage->id(), b.impl()->storage->id());
+}
+
+TEST(Tensor, RequiresGradFlag)
+{
+    Tensor t = Tensor::create({1}, DType::kFloat32, true);
+    EXPECT_FALSE(t.requires_grad());
+    t.set_requires_grad(true);
+    EXPECT_TRUE(t.requires_grad());
+    EXPECT_FALSE(t.grad().defined());
+}
+
+TEST(DType, SizesAndNames)
+{
+    EXPECT_EQ(dtype_size(DType::kFloat32), 4);
+    EXPECT_EQ(dtype_size(DType::kInt64), 8);
+    EXPECT_EQ(dtype_size(DType::kBool), 1);
+    EXPECT_EQ(dtype_from_name("float32"), DType::kFloat32);
+    EXPECT_EQ(dtype_from_name(dtype_name(DType::kInt64)), DType::kInt64);
+    EXPECT_THROW(dtype_from_name("float16"), ParseError);
+}
+
+TEST(Shape, NumelAndStr)
+{
+    EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+    EXPECT_EQ(shape_numel({}), 1);
+    EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+}
+
+TEST(IValue, Tags)
+{
+    EXPECT_TRUE(IValue().is_none());
+    EXPECT_TRUE(IValue(Tensor()).is_none()); // undefined tensor → None
+    EXPECT_TRUE(IValue(int64_t{3}).is_int());
+    EXPECT_TRUE(IValue(2.5).is_double());
+    EXPECT_TRUE(IValue(true).is_bool());
+    EXPECT_TRUE(IValue(std::vector<int64_t>{1, 2}).is_int_list());
+    EXPECT_TRUE(IValue("str").is_string());
+}
+
+TEST(IValue, NumericCoercion)
+{
+    EXPECT_DOUBLE_EQ(IValue(int64_t{3}).to_double(), 3.0);
+    EXPECT_EQ(IValue(true).to_int(), 1);
+    EXPECT_THROW(IValue("x").to_int(), ReplayError);
+    EXPECT_THROW(IValue(1.5).tensor(), ReplayError);
+}
+
+TEST(IValue, ReferencedTensors)
+{
+    Tensor a = Tensor::create({1}, DType::kFloat32, true);
+    Tensor b = Tensor::create({1}, DType::kFloat32, true);
+    EXPECT_EQ(IValue(a).referenced_tensors().size(), 1u);
+    EXPECT_EQ(IValue(std::vector<Tensor>{a, b}).referenced_tensors().size(), 2u);
+    EXPECT_TRUE(IValue(int64_t{1}).referenced_tensors().empty());
+}
+
+} // namespace
+} // namespace mystique::fw

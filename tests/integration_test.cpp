@@ -1,0 +1,156 @@
+/// Cross-module integration tests: the full trace → disk → replay pipeline,
+/// trace-statistics analysis, and end-to-end determinism.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/replayer.h"
+#include "et/trace_stats.h"
+#include "workloads/harness.h"
+
+namespace mystique {
+namespace {
+
+wl::RunConfig
+tiny_cfg()
+{
+    wl::RunConfig cfg;
+    cfg.mode = fw::ExecMode::kNumeric;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 2;
+    cfg.seed = 11;
+    return cfg;
+}
+
+wl::WorkloadOptions
+tiny_opts()
+{
+    wl::WorkloadOptions o;
+    o.preset = wl::Preset::kTiny;
+    return o;
+}
+
+TEST(Integration, TraceSurvivesDiskRoundTripAndReplays)
+{
+    // The production flow: traces go through a database on disk (Figure 3).
+    const wl::RunResult orig = wl::run_original("rm", tiny_opts(), tiny_cfg());
+    const std::string dir = testing::TempDir() + "/integration_et";
+    std::filesystem::create_directories(dir);
+    orig.rank0().trace.save(dir + "/rm_rank0.json");
+    orig.rank0().prof.to_json().dump_file(dir + "/rm_rank0_prof.json");
+
+    const et::ExecutionTrace loaded = et::ExecutionTrace::load(dir + "/rm_rank0.json");
+    const prof::ProfilerTrace loaded_prof =
+        prof::ProfilerTrace::from_json(Json::parse_file(dir + "/rm_rank0_prof.json"));
+    EXPECT_EQ(loaded.size(), orig.rank0().trace.size());
+    EXPECT_EQ(loaded.fingerprint(), orig.rank0().trace.fingerprint());
+
+    core::ReplayConfig cfg;
+    cfg.mode = fw::ExecMode::kNumeric;
+    cfg.iterations = 2;
+    core::Replayer from_disk(loaded, &loaded_prof, cfg);
+    core::Replayer from_memory(orig.rank0().trace, &orig.rank0().prof, cfg);
+    EXPECT_EQ(from_disk.selection().total_selected(),
+              from_memory.selection().total_selected());
+    const auto r1 = from_disk.run();
+    const auto r2 = from_memory.run();
+    EXPECT_NEAR(r1.mean_iter_us, r2.mean_iter_us, r2.mean_iter_us * 0.05);
+}
+
+TEST(Integration, ReplayIsDeterministicGivenSeed)
+{
+    const wl::RunResult orig = wl::run_original("resnet", tiny_opts(), tiny_cfg());
+    core::ReplayConfig cfg;
+    cfg.mode = fw::ExecMode::kNumeric;
+    cfg.iterations = 2;
+    cfg.seed = 77;
+    core::Replayer a(orig.rank0().trace, &orig.rank0().prof, cfg);
+    core::Replayer b(orig.rank0().trace, &orig.rank0().prof, cfg);
+    EXPECT_DOUBLE_EQ(a.run().mean_iter_us, b.run().mean_iter_us);
+}
+
+TEST(Integration, TraceStatsAttributeTimeToComposites)
+{
+    const wl::RunResult orig = wl::run_original("param_linear", tiny_opts(), tiny_cfg());
+    const et::TraceStats stats =
+        et::TraceStats::build(orig.rank0().trace, &orig.rank0().prof);
+    ASSERT_GT(stats.ops().size(), 3u);
+    EXPECT_GT(stats.total_kernel_us(), 0.0);
+    // aten::linear's GEMM kernels are launched by its addmm child but must
+    // attribute to the composite.
+    const et::OpStats* linear = stats.find("aten::linear");
+    ASSERT_NE(linear, nullptr);
+    EXPECT_GT(linear->kernel_time_us, 0.0);
+    const et::OpStats* addmm = stats.find("aten::addmm");
+    ASSERT_NE(addmm, nullptr);
+    EXPECT_DOUBLE_EQ(addmm->kernel_time_us, 0.0);
+    // Top-k share grows with k and reaches 1.
+    EXPECT_LE(stats.top_k_time_share(1), stats.top_k_time_share(5) + 1e-12);
+    EXPECT_NEAR(stats.top_k_time_share(stats.ops().size()), 1.0, 1e-9);
+}
+
+TEST(Integration, MixDistanceSeparatesWorkloads)
+{
+    const wl::RunResult a = wl::run_original("param_linear", tiny_opts(), tiny_cfg());
+    const wl::RunResult b = wl::run_original("resnet", tiny_opts(), tiny_cfg());
+    const et::TraceStats sa = et::TraceStats::build(a.rank0().trace);
+    const et::TraceStats sb = et::TraceStats::build(b.rank0().trace);
+    EXPECT_NEAR(et::TraceStats::mix_distance(sa, sa), 0.0, 1e-12);
+    EXPECT_GT(et::TraceStats::mix_distance(sa, sb), 0.3);
+    // Same workload, different seed → identical mix.
+    wl::RunConfig cfg2 = tiny_cfg();
+    cfg2.seed = 99;
+    const wl::RunResult a2 = wl::run_original("param_linear", tiny_opts(), cfg2);
+    const et::TraceStats sa2 = et::TraceStats::build(a2.rank0().trace);
+    EXPECT_NEAR(et::TraceStats::mix_distance(sa, sa2), 0.0, 1e-12);
+}
+
+TEST(Integration, StatsJsonSerializes)
+{
+    const wl::RunResult orig = wl::run_original("asr", tiny_opts(), tiny_cfg());
+    const et::TraceStats stats =
+        et::TraceStats::build(orig.rank0().trace, &orig.rank0().prof);
+    const Json j = stats.to_json();
+    EXPECT_GT(j.at("ops").as_array().size(), 0u);
+    EXPECT_EQ(j.at("total_ops").as_int(), stats.total_ops());
+}
+
+TEST(Integration, DistributedTracesShareCommStructure)
+{
+    // §4.1: all ranks trace the same iteration, so their comm sequences
+    // match; the replayer depends on this to avoid rendezvous deadlock.
+    wl::RunConfig cfg = tiny_cfg();
+    cfg.world_size = 2;
+    const wl::RunResult orig = wl::run_original("param_linear", tiny_opts(), cfg);
+    std::vector<std::string> seq0, seq1;
+    for (const auto& n : orig.ranks[0].trace.nodes())
+        if (n.category == dev::OpCategory::kComm)
+            seq0.push_back(n.name);
+    for (const auto& n : orig.ranks[1].trace.nodes())
+        if (n.category == dev::OpCategory::kComm)
+            seq1.push_back(n.name);
+    EXPECT_EQ(seq0, seq1);
+    EXPECT_FALSE(seq0.empty());
+}
+
+TEST(Integration, PowerLimitSweepIsMonotoneInTime)
+{
+    // The Figure 8 mechanism end-to-end: lower limits never make the
+    // iteration faster.
+    const wl::RunResult traced = wl::run_original("param_linear", tiny_opts(), tiny_cfg());
+    double prev = 1e18;
+    for (double limit : {400.0, 250.0, 150.0}) {
+        core::ReplayConfig cfg;
+        cfg.mode = fw::ExecMode::kNumeric;
+        cfg.iterations = 2;
+        cfg.power_limit_w = limit;
+        core::Replayer replayer(traced.rank0().trace, &traced.rank0().prof, cfg);
+        const double t = replayer.run().mean_iter_us;
+        EXPECT_LE(t, prev * 1.02);
+        prev = t;
+    }
+}
+
+} // namespace
+} // namespace mystique

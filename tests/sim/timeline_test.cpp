@@ -1,0 +1,106 @@
+/// Tests for virtual-time primitives, including the exposed-time analysis
+/// behind the paper's Figure 2.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "sim/timeline.h"
+
+namespace mystique::sim {
+namespace {
+
+TEST(UnionLength, Disjoint)
+{
+    EXPECT_DOUBLE_EQ(union_length({{0, 1}, {2, 3}}), 2.0);
+}
+
+TEST(UnionLength, Overlapping)
+{
+    EXPECT_DOUBLE_EQ(union_length({{0, 2}, {1, 3}}), 3.0);
+}
+
+TEST(UnionLength, Nested)
+{
+    EXPECT_DOUBLE_EQ(union_length({{0, 10}, {2, 3}, {4, 5}}), 10.0);
+}
+
+TEST(UnionLength, Empty)
+{
+    EXPECT_DOUBLE_EQ(union_length({}), 0.0);
+}
+
+TEST(UnionLength, Touching)
+{
+    EXPECT_DOUBLE_EQ(union_length({{0, 1}, {1, 2}}), 2.0);
+}
+
+TEST(Span, Basics)
+{
+    const Interval s = span({{3, 4}, {1, 2}, {5, 9}});
+    EXPECT_DOUBLE_EQ(s.start, 1.0);
+    EXPECT_DOUBLE_EQ(s.end, 9.0);
+}
+
+TEST(ExposedTime, FullyCovered)
+{
+    EXPECT_DOUBLE_EQ(exposed_time({2, 4}, {{0, 10}}), 0.0);
+}
+
+TEST(ExposedTime, FullyExposed)
+{
+    EXPECT_DOUBLE_EQ(exposed_time({2, 4}, {{5, 10}}), 2.0);
+}
+
+TEST(ExposedTime, PartialOverlap)
+{
+    // comm kernel [0,10); compute covers [3,7) → exposed = 6
+    EXPECT_DOUBLE_EQ(exposed_time({0, 10}, {{3, 7}}), 6.0);
+}
+
+TEST(ExposedTime, MultipleCoverings)
+{
+    EXPECT_DOUBLE_EQ(exposed_time({0, 10}, {{0, 2}, {1, 3}, {8, 12}}), 5.0);
+}
+
+TEST(TotalExposedTime, SumsPerTarget)
+{
+    const std::vector<Interval> others{{0, 5}};
+    EXPECT_DOUBLE_EQ(total_exposed_time({{0, 10}, {4, 6}}, others), 6.0);
+}
+
+TEST(VirtualClock, AdvanceAccumulates)
+{
+    VirtualClock c;
+    EXPECT_DOUBLE_EQ(c.now(), 0.0);
+    c.advance(5.0);
+    c.advance(2.5);
+    EXPECT_DOUBLE_EQ(c.now(), 7.5);
+}
+
+TEST(VirtualClock, AdvanceToOnlyForward)
+{
+    VirtualClock c;
+    c.advance_to(10.0);
+    EXPECT_DOUBLE_EQ(c.now(), 10.0);
+    c.advance_to(3.0); // no-op: time never goes backwards
+    EXPECT_DOUBLE_EQ(c.now(), 10.0);
+}
+
+TEST(VirtualClock, NegativeAdvanceRejected)
+{
+    VirtualClock c;
+    EXPECT_THROW(c.advance(-1.0), InternalError);
+}
+
+TEST(Interval, OverlapPredicate)
+{
+    const Interval a{0, 5};
+    EXPECT_TRUE(a.overlaps({4, 6}));
+    EXPECT_FALSE(a.overlaps({5, 6})); // half-open
+    EXPECT_TRUE(a.overlaps({-1, 1}));
+    EXPECT_FALSE(a.overlaps({-2, 0}));
+}
+
+} // namespace
+} // namespace mystique::sim
