@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, and run the full test suite.
+# Mirrors .github/workflows/ci.yml for local / non-Actions runners.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j "$(nproc)"

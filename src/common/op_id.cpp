@@ -1,0 +1,51 @@
+#include "common/op_id.h"
+
+#include <stdexcept>
+
+namespace mystique {
+
+OpInterner&
+OpInterner::instance()
+{
+    static OpInterner interner;
+    return interner;
+}
+
+OpId
+OpInterner::intern(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    const OpId id = static_cast<OpId>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+}
+
+OpId
+OpInterner::lookup(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ids_.find(name);
+    return it == ids_.end() ? kInvalidOpId : it->second;
+}
+
+const std::string&
+OpInterner::name(OpId id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || static_cast<std::size_t>(id) >= names_.size())
+        throw std::out_of_range("OpInterner: bad OpId " + std::to_string(id));
+    return names_[static_cast<std::size_t>(id)];
+}
+
+std::size_t
+OpInterner::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return names_.size();
+}
+
+} // namespace mystique

@@ -80,6 +80,7 @@ Reconstructor::reconstruct(const et::Node& node, bool supported)
 {
     ReconstructedOp op;
     op.node = &node;
+    op.op_id = node.op_id.load(); // resolved by selection; invalid for unsupported ops
     if (!supported) {
         op.kind = ReconstructedOp::Kind::kSkipped;
         return op;
@@ -132,7 +133,11 @@ execute_reconstructed(fw::Session& session, const ReconstructedOp& op, TensorMan
         inputs.reserve(node.inputs.size());
         for (const auto& arg : node.inputs)
             inputs.push_back(argument_to_ivalue(arg, tm));
-        outputs = session.call(node.name, std::move(inputs));
+        // Direct registry dispatch by interned identity (no name lookup on
+        // the per-op replay path); unresolved ids fall back to the string
+        // overload for its diagnostic.
+        outputs = op.op_id != kInvalidOpId ? session.call(op.op_id, std::move(inputs))
+                                           : session.call(node.name, std::move(inputs));
     }
 
     // Bind outputs back to their recorded tensor IDs for downstream

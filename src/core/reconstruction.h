@@ -33,6 +33,9 @@ struct ReconstructedOp {
     Kind kind = Kind::kSkipped;
     const et::Node* node = nullptr;
     const jit::Function* fn = nullptr; ///< valid for kCompiledIr
+    /// Interned op identity, resolved once at plan-build time so the hot
+    /// replay loop dispatches kDirect ops without any name lookup.
+    OpId op_id = kInvalidOpId;
     /// Stream the op's kernels ran on originally (from the profiler trace).
     std::optional<int> stream;
     /// Generated IR text (kept for codegen and debugging).

@@ -63,6 +63,11 @@ select_ops(const et::ExecutionTrace& trace, const CustomOpRegistry& custom,
         return false;
     };
 
+    // One supported-set build per selection; per-node checks are then O(1)
+    // OpId-mask probes (each node's name resolves through the intern table
+    // at most once, cached in node.op_id).
+    const SupportedSet supported = SupportedSet::build(custom);
+
     for (const auto& node : trace.nodes()) {
         if (!node.is_op())
             continue; // wrappers are transparent
@@ -73,7 +78,7 @@ select_ops(const et::ExecutionTrace& trace, const CustomOpRegistry& custom,
         if (filter.only_category.has_value() && node.category != *filter.only_category)
             continue;
         selected_ids.insert(node.id);
-        out.ops.push_back({node.id, is_replayable(node, custom)});
+        out.ops.push_back({node.id, is_replayable(node, supported), node.op_id.load()});
     }
 
     // Subtree membership for each selected root (selected node included).
@@ -106,17 +111,27 @@ coverage(const et::ExecutionTrace& trace, const Selection& sel,
             ? static_cast<double>(stats.supported_ops) / static_cast<double>(stats.selected_ops)
             : 1.0;
 
+    // Accumulate by interned identity (unregistered ops get IDs on first
+    // sight); names materialize only into the report map below.
     std::unordered_set<int64_t> unsupported_subtree;
+    std::unordered_map<OpId, int64_t> unsupported_hist;
     for (const auto& op : sel.ops) {
         if (op.supported)
             continue;
         const et::Node* node = trace.find(op.node_id);
         MYST_CHECK(node != nullptr);
-        ++stats.unsupported_by_name[node->name];
+        OpId id = node->op_id.load();
+        if (id == kInvalidOpId) {
+            id = OpInterner::instance().intern(node->name);
+            node->op_id.store(id);
+        }
+        ++unsupported_hist[id];
         auto it = sel.subtree_ids.find(op.node_id);
         if (it != sel.subtree_ids.end())
             unsupported_subtree.insert(it->second.begin(), it->second.end());
     }
+    for (const auto& [id, count] : unsupported_hist)
+        stats.unsupported_by_name[OpInterner::instance().name(id)] = count;
 
     if (prof == nullptr) {
         stats.time_fraction = stats.count_fraction;

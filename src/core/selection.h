@@ -35,6 +35,9 @@ struct SelectionFilter {
 struct SelectedOp {
     int64_t node_id = -1;
     bool supported = false;
+    /// Interned op identity, resolved once during selection (kInvalidOpId
+    /// for ops absent from the intern table, e.g. foreign custom ops).
+    OpId op_id = kInvalidOpId;
 };
 
 /// Selection outcome plus coverage bookkeeping.

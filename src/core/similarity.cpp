@@ -1,8 +1,9 @@
 #include "core/similarity.h"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 
+#include "common/op_id.h"
 #include "common/stats.h"
 
 namespace mystique::core {
@@ -32,12 +33,37 @@ struct KernelAgg {
     double mean_sm() const { return total_us > 0 ? sm / total_us : 0.0; }
 };
 
-std::map<std::string, KernelAgg>
-aggregate(const prof::ProfilerTrace& trace)
+/// Call-local kernel-name interner.  Kernel names are not operators, and a
+/// trace can carry thousands of distinct ones, so they stay out of the
+/// process-wide OpInterner; one table shared by both runs still gives the
+/// integer-keyed aggregation and original↔replay matching below.  Name
+/// pointers into the map's keys are stable (node-based buckets).
+class KernelInterner {
+  public:
+    OpId intern(const std::string& name)
+    {
+        auto [it, inserted] = ids_.emplace(name, static_cast<OpId>(names_.size()));
+        if (inserted)
+            names_.push_back(&it->first);
+        return it->second;
+    }
+
+    const std::string& name(OpId id) const { return *names_[static_cast<std::size_t>(id)]; }
+
+  private:
+    std::unordered_map<std::string, OpId> ids_;
+    std::vector<const std::string*> names_;
+};
+
+/// Aggregates keyed by interned kernel-name ID: each distinct name is hashed
+/// once; per-event accumulation and run matching are integer-keyed.  Names
+/// are materialized only for the report rows.
+std::unordered_map<OpId, KernelAgg>
+aggregate(const prof::ProfilerTrace& trace, KernelInterner& interner)
 {
-    std::map<std::string, KernelAgg> out;
+    std::unordered_map<OpId, KernelAgg> out;
     for (const auto& k : trace.kernels())
-        out[k.name].add(k);
+        out[interner.intern(k.name)].add(k);
     return out;
 }
 
@@ -63,26 +89,28 @@ compare_runs(double original_e2e_us, const dev::DeviceMetrics& original,
     rep.hbm_bw_error = relative_error(replay.hbm_gbps, original.hbm_gbps);
     rep.power_error = relative_error(replay.power_w, original.power_w);
 
-    const auto orig = aggregate(original_prof);
-    const auto repl = aggregate(replay_prof);
+    KernelInterner interner;
+    const auto orig = aggregate(original_prof, interner);
+    const auto repl = aggregate(replay_prof, interner);
     double total_orig_us = 0.0;
-    for (const auto& [name, agg] : orig)
+    for (const auto& [id, agg] : orig)
         total_orig_us += agg.total_us;
 
-    // Top-K original kernels by device time.
-    std::vector<std::pair<std::string, double>> by_time;
+    // Top-K original kernels by device time (name tie-break keeps report
+    // order deterministic and independent of interning order).
+    std::vector<std::pair<OpId, double>> by_time;
     by_time.reserve(orig.size());
-    for (const auto& [name, agg] : orig)
-        by_time.emplace_back(name, agg.total_us);
-    std::sort(by_time.begin(), by_time.end(), [](const auto& a, const auto& b) {
+    for (const auto& [id, agg] : orig)
+        by_time.emplace_back(id, agg.total_us);
+    std::sort(by_time.begin(), by_time.end(), [&](const auto& a, const auto& b) {
         if (a.second != b.second)
             return a.second > b.second;
-        return a.first < b.first;
+        return interner.name(a.first) < interner.name(b.first);
     });
 
     KernelAgg overall_orig, overall_repl;
-    for (const auto& [name, oagg] : orig) {
-        auto it = repl.find(name);
+    for (const auto& [id, oagg] : orig) {
+        auto it = repl.find(id);
         if (it == repl.end())
             continue;
         overall_orig.total_us += oagg.total_us;
@@ -105,16 +133,16 @@ compare_runs(double original_e2e_us, const dev::DeviceMetrics& original,
     rep.overall.sm_throughput_ratio =
         safe_ratio(overall_repl.mean_sm(), overall_orig.mean_sm());
 
-    for (const auto& [name, dur] : by_time) {
+    for (const auto& [id, dur] : by_time) {
         if (rep.top_kernels.size() >= top_k)
             break;
-        auto it = repl.find(name);
+        auto it = repl.find(id);
         if (it == repl.end())
             continue;
-        const KernelAgg& o = orig.at(name);
+        const KernelAgg& o = orig.at(id);
         const KernelAgg& r = it->second;
         KernelSimilarity sim;
-        sim.name = name;
+        sim.name = interner.name(id);
         sim.time_share = safe_ratio(dur, total_orig_us);
         sim.duration_ratio = safe_ratio(r.total_us, o.total_us);
         sim.ipc_ratio = safe_ratio(r.mean_ipc(), o.mean_ipc());

@@ -56,27 +56,55 @@ CustomOpRegistry::registered() const
     return out;
 }
 
+SupportedSet
+SupportedSet::build(const CustomOpRegistry& custom)
+{
+    const fw::OpRegistry& reg = fw::OpRegistry::instance();
+    SupportedSet out;
+    out.mask_.assign(reg.id_bound(), 0);
+    for (OpId id = 0; static_cast<std::size_t>(id) < out.mask_.size(); ++id) {
+        const fw::OpDef* def = reg.find(id);
+        if (def == nullptr)
+            continue; // interned name with no registered implementation
+        switch (def->category) {
+          case dev::OpCategory::kATen:
+          case dev::OpCategory::kComm:
+            out.mask_[static_cast<std::size_t>(id)] = 1;
+            break;
+          case dev::OpCategory::kCustom:
+            out.mask_[static_cast<std::size_t>(id)] =
+                custom.is_registered(def->name) ? 1 : 0;
+            break;
+          case dev::OpCategory::kFused:
+          case dev::OpCategory::kOther:
+            break;
+        }
+    }
+    return out;
+}
+
 bool
-is_replayable(const et::Node& node, const CustomOpRegistry& custom)
+is_replayable(const et::Node& node, const SupportedSet& supported)
 {
     if (!node.is_op())
         return false;
-    switch (node.category) {
-      case dev::OpCategory::kFused:
-        // No reconstruction metadata in the ET (§4.3.4).
+    // Fused ops carry no reconstruction metadata in the ET (§4.3.4), and
+    // every replayable category requires a recorded schema.
+    if (node.category == dev::OpCategory::kFused ||
+        node.category == dev::OpCategory::kOther || node.op_schema.empty())
         return false;
-      case dev::OpCategory::kATen:
-      case dev::OpCategory::kComm:
-        // Requires a schema and an executable implementation.
-        return !node.op_schema.empty() &&
-               fw::OpRegistry::instance().contains(node.name);
-      case dev::OpCategory::kCustom:
-        return !node.op_schema.empty() && custom.is_registered(node.name) &&
-               fw::OpRegistry::instance().contains(node.name);
-      case dev::OpCategory::kOther:
-        return false;
+    OpId id = node.op_id.load();
+    if (id == kInvalidOpId) {
+        id = fw::OpRegistry::instance().lookup(node.name);
+        node.op_id.store(id);
     }
-    return false;
+    return supported.contains(id);
+}
+
+bool
+is_replayable(const et::Node& node, const CustomOpRegistry& custom)
+{
+    return is_replayable(node, SupportedSet::build(custom));
 }
 
 } // namespace mystique::core

@@ -12,10 +12,10 @@
 ///     (§4.3.3).
 /// Fused ops carry no schema in the ET and are always skipped (§4.3.4).
 
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/op_id.h"
 #include "et/node.h"
 
 namespace mystique::core {
@@ -49,8 +49,34 @@ class CustomOpRegistry {
     std::vector<std::string> namespaces_;
 };
 
-/// Decides whether a trace node can be replayed under a given registry.
-/// Wrapper nodes are never replayable (they carry no work).
+/// The replayer's supported set, precomputed as a dense OpId-indexed mask so
+/// the per-node check during plan building is O(1) with no string compares.
+/// Build once after ensure_ops_registered(); a node name resolves through
+/// the intern table exactly once (cached in et::Node::op_id) and then every
+/// membership test is a vector index.
+class SupportedSet {
+  public:
+    /// Walks the framework registry and bakes in the category rules:
+    /// ATen/c10d ops are replayable, custom ops only when @p custom lists
+    /// them, fused and wrapper categories never are.
+    static SupportedSet build(const CustomOpRegistry& custom);
+
+    bool contains(OpId id) const
+    {
+        return id >= 0 && static_cast<std::size_t>(id) < mask_.size() &&
+               mask_[static_cast<std::size_t>(id)] != 0;
+    }
+
+  private:
+    std::vector<unsigned char> mask_; ///< indexed by OpId
+};
+
+/// Decides whether a trace node can be replayed under a prebuilt supported
+/// set, resolving (and caching) the node's OpId on first use.
+bool is_replayable(const et::Node& node, const SupportedSet& supported);
+
+/// Convenience overload for one-off checks (tests, tools): builds the
+/// supported set on every call — use the SupportedSet form in loops.
 bool is_replayable(const et::Node& node, const CustomOpRegistry& custom);
 
 } // namespace mystique::core

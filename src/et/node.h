@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/op_id.h"
 #include "device/kernel.h"
 
 namespace mystique::et {
@@ -86,6 +87,12 @@ NodeKind node_kind_from_string(const std::string& s);
 struct Node {
     int64_t id = -1;
     std::string name;
+    /// Interned identity of `name` — an in-process cache, never serialized
+    /// (OpIds are process-local).  Stamped by the Session at record time;
+    /// for traces loaded from JSON it starts invalid and the replay planner
+    /// (core/supported_ops) resolves it exactly once per node, through the
+    /// const references replay holds (OpIdCache makes that race-free).
+    OpIdCache op_id;
     int64_t parent = -1;
     NodeKind kind = NodeKind::kOperator;
     dev::OpCategory category = dev::OpCategory::kATen;

@@ -9,31 +9,41 @@ TraceStats
 TraceStats::build(const ExecutionTrace& trace, const prof::ProfilerTrace* prof)
 {
     TraceStats out;
-    std::unordered_map<std::string, OpStats> rows;
+    // Histogram keyed by interned OpId — interning touches each distinct
+    // name once; per-node and per-kernel accounting is integer-keyed.
+    std::unordered_map<OpId, OpStats> rows;
 
-    // Map node id → op name of its nearest operator ancestor-or-self, so
+    // Map node id → op identity of its nearest operator ancestor-or-self, so
     // kernels launched by children attribute to the composite they serve.
-    std::unordered_map<int64_t, std::string> owner_name;
-    std::unordered_map<int64_t, const Node*> by_id;
-    for (const auto& n : trace.nodes())
-        by_id[n.id] = &n;
+    std::unordered_map<int64_t, OpId> owner_op;
 
     for (const auto& n : trace.nodes()) {
-        std::string owner;
+        OpId owner = kInvalidOpId;
         if (n.parent >= 0) {
-            auto it = owner_name.find(n.parent);
-            if (it != owner_name.end())
+            auto it = owner_op.find(n.parent);
+            if (it != owner_op.end())
                 owner = it->second;
         }
-        if (owner.empty() && n.is_op())
-            owner = n.name;
-        owner_name[n.id] = owner;
+        OpId op_id = kInvalidOpId;
+        if (n.is_op()) {
+            op_id = n.op_id.load();
+            if (op_id == kInvalidOpId) {
+                op_id = OpInterner::instance().intern(n.name);
+                n.op_id.store(op_id);
+            }
+            if (owner == kInvalidOpId)
+                owner = op_id;
+        }
+        owner_op[n.id] = owner;
 
         if (!n.is_op())
             continue;
-        OpStats& row = rows[n.name];
-        row.name = n.name;
-        row.category = n.category;
+        OpStats& row = rows[op_id];
+        if (row.count == 0) {
+            row.name = n.name;
+            row.op_id = op_id;
+            row.category = n.category;
+        }
         ++row.count;
         ++out.total_ops_;
         for (const auto& arg : n.inputs)
@@ -43,8 +53,8 @@ TraceStats::build(const ExecutionTrace& trace, const prof::ProfilerTrace* prof)
 
     if (prof != nullptr) {
         for (const auto& k : prof->kernels()) {
-            auto it = owner_name.find(k.correlation);
-            if (it == owner_name.end() || it->second.empty())
+            auto it = owner_op.find(k.correlation);
+            if (it == owner_op.end() || it->second == kInvalidOpId)
                 continue;
             auto rit = rows.find(it->second);
             if (rit == rows.end())
@@ -55,7 +65,7 @@ TraceStats::build(const ExecutionTrace& trace, const prof::ProfilerTrace* prof)
     }
 
     out.ops_.reserve(rows.size());
-    for (auto& [name, row] : rows)
+    for (auto& [id, row] : rows)
         out.ops_.push_back(std::move(row));
     std::sort(out.ops_.begin(), out.ops_.end(), [](const OpStats& a, const OpStats& b) {
         if (a.kernel_time_us != b.kernel_time_us)
@@ -70,8 +80,11 @@ TraceStats::build(const ExecutionTrace& trace, const prof::ProfilerTrace* prof)
 const OpStats*
 TraceStats::find(const std::string& name) const
 {
+    const OpId id = OpInterner::instance().lookup(name);
+    if (id == kInvalidOpId)
+        return nullptr;
     for (const auto& row : ops_) {
-        if (row.name == name)
+        if (row.op_id == id)
             return &row;
     }
     return nullptr;
@@ -93,15 +106,16 @@ TraceStats::mix_distance(const TraceStats& a, const TraceStats& b)
 {
     if (a.total_ops_ == 0 && b.total_ops_ == 0)
         return 0.0;
-    std::unordered_map<std::string, double> mix;
+    // OpIds are process-wide, so two traces' rows share one key space.
+    std::unordered_map<OpId, double> mix;
     for (const auto& row : a.ops_)
-        mix[row.name] += static_cast<double>(row.count) /
-                         std::max<int64_t>(a.total_ops_, 1);
+        mix[row.op_id] += static_cast<double>(row.count) /
+                          std::max<int64_t>(a.total_ops_, 1);
     for (const auto& row : b.ops_)
-        mix[row.name] -= static_cast<double>(row.count) /
-                         std::max<int64_t>(b.total_ops_, 1);
+        mix[row.op_id] -= static_cast<double>(row.count) /
+                          std::max<int64_t>(b.total_ops_, 1);
     double dist = 0.0;
-    for (const auto& [name, delta] : mix)
+    for (const auto& [id, delta] : mix)
         dist += std::abs(delta);
     return dist;
 }

@@ -6,18 +6,20 @@
 /// counts, plus an operator-mix distance for grouping near-identical traces.
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/op_id.h"
 #include "et/trace.h"
 #include "profiler/profiler.h"
 
 namespace mystique::et {
 
-/// Per-operator-name aggregate over one trace.
+/// Per-operator aggregate over one trace.  Rows are keyed internally by
+/// interned OpId; the name is materialized for reports.
 struct OpStats {
     std::string name;
+    OpId op_id = kInvalidOpId;
     dev::OpCategory category = dev::OpCategory::kATen;
     int64_t count = 0;
     /// Total elements across tensor inputs (a size proxy).

@@ -26,10 +26,16 @@ Engine::run_backward(Session& sess, const Tensor& loss,
     NoGradGuard no_grad(sess);
 
     std::unordered_map<TensorImpl*, Tensor> grads;
-    grads[loss.impl()] = sess.call_t("aten::ones_like", {IValue(loss)});
+    grads[loss.impl()] = sess.call_t(MYST_OP("aten::ones_like"), {IValue(loss)});
 
     for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) {
         TapeNode& node = *it;
+        const OpDef* def =
+            node.op_id != kInvalidOpId ? &OpRegistry::instance().at(node.op_id) : nullptr;
+        const BackwardFn& backward = def != nullptr ? def->backward : node.dynamic_backward;
+        const std::string& grad_name =
+            def != nullptr ? (def->grad_name.empty() ? def->name : def->grad_name)
+                           : node.dynamic_grad_name;
 
         std::vector<Tensor> grad_outputs;
         grad_outputs.reserve(node.output_tensors.size());
@@ -46,13 +52,13 @@ Engine::run_backward(Session& sess, const Tensor& loss,
         if (!any)
             continue;
 
-        sess.push_scope("autograd::engine::evaluate_function: " + node.grad_name +
+        sess.push_scope("autograd::engine::evaluate_function: " + grad_name +
                         "Backward0");
-        std::vector<Tensor> grad_inputs = node.backward(sess, node.ctx, grad_outputs);
+        std::vector<Tensor> grad_inputs = backward(sess, node.ctx, grad_outputs);
         MYST_CHECK_MSG(grad_inputs.size() == node.ctx.inputs.size(),
-                       node.grad_name << " backward returned " << grad_inputs.size()
-                                      << " grads for " << node.ctx.inputs.size()
-                                      << " inputs");
+                       grad_name << " backward returned " << grad_inputs.size()
+                                 << " grads for " << node.ctx.inputs.size()
+                                 << " inputs");
 
         // Routes one gradient contribution to a target tensor: accumulate,
         // and for leaf parameters finalize .grad and fire post-accumulate
@@ -67,7 +73,7 @@ Engine::run_backward(Session& sess, const Tensor& loss,
                 grads.emplace(target, g);
             } else {
                 // In-stream accumulation, as AccumulateGrad does.
-                sess.call("aten::add_.Tensor",
+                sess.call(MYST_OP("aten::add_.Tensor"),
                           {IValue(git->second), IValue(g), IValue(1.0)});
             }
             if (!target->produced_by_tape && target->grad == nullptr) {
@@ -92,7 +98,7 @@ Engine::run_backward(Session& sess, const Tensor& loss,
                 continue;
             const auto& list = node.ctx.inputs[i].tensor_list();
             MYST_CHECK_MSG(elems.size() == list.size(),
-                           node.grad_name << " list grads size mismatch");
+                           grad_name << " list grads size mismatch");
             for (std::size_t e = 0; e < elems.size(); ++e) {
                 if (elems[e].defined())
                     route(list[e], elems[e]);

@@ -21,12 +21,19 @@
 namespace mystique::fw::autograd {
 
 /// One recorded differentiable op application.
+///
+/// Carries the interned identity of the forward op rather than copies of its
+/// grad name and backward functor: recording is on the per-op hot path, and
+/// the engine re-derives the OpDef in O(1) when backward actually runs.
 struct TapeNode {
-    std::string grad_name; ///< e.g. "Addmm" → frame "AddmmBackward0"
+    OpId op_id = kInvalidOpId; ///< forward op; its OpDef supplies backward
     AutogradContext ctx;
-    BackwardFn backward;
     /// Impls of tensor outputs, for grad routing.
     std::vector<std::shared_ptr<TensorImpl>> output_tensors;
+    /// Dynamic (JIT-fused) ops have no registry entry, so their backward and
+    /// grad name are copied here; op_id stays invalid.
+    BackwardFn dynamic_backward;
+    std::string dynamic_grad_name;
 };
 
 /// The per-session tape and backward executor.

@@ -53,13 +53,13 @@ fused_mul_add_relu(Session& s, const Tensor& a, const Tensor& b, const Tensor& c
         const Tensor& x = ctx.inputs[0].tensor();
         const Tensor& y = ctx.inputs[1].tensor();
         const Tensor& out = ctx.outputs[0].tensor();
-        Tensor gz = sess.call_t("aten::threshold_backward",
+        Tensor gz = sess.call_t(MYST_OP("aten::threshold_backward"),
                                 {IValue(gouts[0]), IValue(out), IValue(0.0)});
         Tensor ga, gb;
         if (x.requires_grad())
-            ga = sess.call_t("aten::mul.Tensor", {IValue(gz), IValue(y)});
+            ga = sess.call_t(MYST_OP("aten::mul.Tensor"), {IValue(gz), IValue(y)});
         if (y.requires_grad())
-            gb = sess.call_t("aten::mul.Tensor", {IValue(gz), IValue(x)});
+            gb = sess.call_t(MYST_OP("aten::mul.Tensor"), {IValue(gz), IValue(x)});
         return {ga, gb, gz};
     };
     return s.call_dynamic(def, {IValue(a), IValue(b), IValue(c)})[0].tensor();
@@ -88,7 +88,7 @@ fused_add_sigmoid(Session& s, const Tensor& a, const Tensor& b)
     };
     def.backward = [](Session& sess, const AutogradContext& ctx,
                       const std::vector<Tensor>& gouts) -> std::vector<Tensor> {
-        Tensor g = sess.call_t("aten::sigmoid_backward",
+        Tensor g = sess.call_t(MYST_OP("aten::sigmoid_backward"),
                                {IValue(gouts[0]), IValue(ctx.outputs[0].tensor())});
         return {g, g};
     };

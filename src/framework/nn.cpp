@@ -116,7 +116,7 @@ LstmLayer::LstmLayer(Session& s, int64_t input_dim, int64_t hidden)
 Tensor
 LstmLayer::forward(Session& s, const Tensor& x) const
 {
-    return s.call_t("fairseq::lstm_layer",
+    return s.call_t(MYST_OP("fairseq::lstm_layer"),
                     {IValue(x), IValue(w_ih), IValue(w_hh), IValue(bias)});
 }
 
@@ -136,7 +136,7 @@ SGD::step(Session& s)
         Tensor g = p.grad();
         if (!g.defined())
             continue;
-        s.call("aten::add_.Tensor", {IValue(p), IValue(g), IValue(-lr_)});
+        s.call(MYST_OP("aten::add_.Tensor"), {IValue(p), IValue(g), IValue(-lr_)});
     }
 }
 
@@ -216,7 +216,7 @@ DistributedDataParallel::on_grad_ready(Session& s, const Tensor& param)
             // All grads in the bucket are final: all-reduce the flat buffer
             // from the autograd thread (overlaps remaining backward).
             NoGradGuard guard(s);
-            s.call("c10d::all_reduce", {IValue(bucket.flat), IValue(pg_id_)});
+            s.call(MYST_OP("c10d::all_reduce"), {IValue(bucket.flat), IValue(pg_id_)});
         }
         return;
     }

@@ -19,16 +19,28 @@ OpRegistry::register_op(OpDef def)
 {
     MYST_CHECK(!def.name.empty());
     MYST_CHECK_MSG(static_cast<bool>(def.fn), "op '" << def.name << "' has no ExecFn");
-    if (ops_.count(def.name) != 0)
+    const OpId id = OpInterner::instance().intern(def.name);
+    if (static_cast<std::size_t>(id) >= defs_.size())
+        defs_.resize(static_cast<std::size_t>(id) + 1);
+    if (defs_[static_cast<std::size_t>(id)].fn)
         MYST_THROW(ConfigError, "op '" << def.name << "' already registered");
-    ops_.emplace(def.name, std::move(def));
+    def.id = id;
+    defs_[static_cast<std::size_t>(id)] = std::move(def);
 }
 
-const OpDef*
-OpRegistry::find(const std::string& name) const
+const OpDef&
+OpRegistry::at(OpId id) const
 {
-    auto it = ops_.find(name);
-    return it == ops_.end() ? nullptr : &it->second;
+    const OpDef* def = find(id);
+    if (def == nullptr)
+        MYST_THROW(ReplayError, "unknown operator id " << id);
+    return *def;
+}
+
+OpId
+OpRegistry::lookup(const std::string& name) const
+{
+    return OpInterner::instance().lookup(name);
 }
 
 const OpDef&
@@ -40,13 +52,22 @@ OpRegistry::at(const std::string& name) const
     return *def;
 }
 
+const std::string&
+OpRegistry::name(OpId id) const
+{
+    return OpInterner::instance().name(id);
+}
+
 std::vector<std::string>
 OpRegistry::names() const
 {
     std::vector<std::string> out;
-    out.reserve(ops_.size());
-    for (const auto& [name, def] : ops_)
-        out.push_back(name);
+    out.reserve(defs_.size());
+    for (const auto& def : defs_) {
+        if (def.fn)
+            out.push_back(def.name);
+    }
+    std::sort(out.begin(), out.end());
     return out;
 }
 

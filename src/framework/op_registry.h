@@ -9,18 +9,45 @@
 /// function, and optionally an autograd backward function.  The Mystique
 /// replayer reconstructs operators against this same registry (its
 /// *supported set* is a separate, narrower list; see core/reconstruction).
+///
+/// ## The OpId scheme
+///
+/// Registration interns the op name through the process-wide OpInterner
+/// (common/op_id.h) and stores the OpDef in a flat vector indexed by the
+/// resulting dense OpId, so every per-op lookup on a hot path is one bounds
+/// check and one vector index — no string hashing or comparisons:
+///
+///   - Session::call(OpId)/call_t(OpId) and Session::dispatch carry
+///     `const OpDef&` resolved exactly once per call site;
+///   - the autograd tape records the OpId of each differentiable op instead
+///     of copying its name and backward functor;
+///   - et::Node caches the OpId alongside its name at record time, and the
+///     replayer's build_plan resolves loaded trace nodes once, so per-node
+///     replay execution is ID-indexed;
+///   - core/supported_ops, core/selection and et/trace_stats key their
+///     supported sets and histograms on OpId.
+///
+/// The string overloads below remain as thin resolve-once wrappers for cold
+/// paths (model code, tests, serialization boundaries).  OpIds are process-
+/// local and must never be persisted; trace files and fingerprints stay
+/// name-based.  Because the flat vector can reallocate while ops are still
+/// being registered, long-lived structures should store OpIds, not OpDef
+/// pointers; `find/at(OpId)` re-derive the pointer in O(1).
 
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/op_id.h"
 #include "device/kernel.h"
 #include "framework/ivalue.h"
 
 namespace mystique::fw {
 
 class Session;
+
+using mystique::kInvalidOpId;
+using mystique::OpId;
 
 /// Executes an op: consumes schema-ordered inputs, returns outputs.
 /// Leaf ops launch kernels via Session::launch(); composite ops invoke child
@@ -59,34 +86,88 @@ struct OpDef {
     double extra_cpu_us = 0.0;
     /// Composite ops execute via child ops; selection keeps the parent (§4.2).
     bool composite = false;
+    /// Interned identity, assigned by OpRegistry::register_op().
+    OpId id = kInvalidOpId;
 };
 
-/// Process-wide operator registry.
+/// Process-wide operator registry: flat OpId-indexed storage plus string
+/// resolve-once wrappers.
 class OpRegistry {
   public:
     static OpRegistry& instance();
 
     /// Registers an op; re-registration of the same name throws ConfigError.
+    /// Interns the name and assigns the OpDef's OpId.
     void register_op(OpDef def);
 
+    // -------------------------------------------------- hot-path (by OpId)
+
+    /// O(1) lookup; nullptr when the ID is unknown or carries no definition
+    /// (a name can be interned — e.g. by trace statistics — without being a
+    /// registered operator).
+    const OpDef* find(OpId id) const
+    {
+        if (id < 0 || static_cast<std::size_t>(id) >= defs_.size())
+            return nullptr;
+        const OpDef& def = defs_[static_cast<std::size_t>(id)];
+        return def.fn ? &def : nullptr;
+    }
+
+    /// O(1) lookup; throws ReplayError when unknown.
+    const OpDef& at(OpId id) const;
+
+    bool contains(OpId id) const { return find(id) != nullptr; }
+
+    // ------------------------------------------- cold-path (by name string)
+
+    /// Resolves a name to its OpId; kInvalidOpId when the name was never
+    /// interned (and therefore certainly never registered).
+    OpId lookup(const std::string& name) const;
+
     /// Lookup; nullptr when unknown.
-    const OpDef* find(const std::string& name) const;
+    const OpDef* find(const std::string& name) const { return find(lookup(name)); }
 
     /// Lookup; throws ReplayError when unknown.
     const OpDef& at(const std::string& name) const;
 
+    bool contains(const std::string& name) const { return find(name) != nullptr; }
+
+    /// The name behind an ID (valid for any interned ID).
+    const std::string& name(OpId id) const;
+
     /// All registered names, sorted.
     std::vector<std::string> names() const;
 
-    bool contains(const std::string& name) const { return find(name) != nullptr; }
+    /// One past the largest OpId that may carry a definition.
+    std::size_t id_bound() const { return defs_.size(); }
 
   private:
     OpRegistry() = default;
-    std::map<std::string, OpDef> ops_;
+
+    /// Indexed by OpId; slots without a definition have an empty fn.
+    std::vector<OpDef> defs_;
 };
 
 /// Idempotently registers all built-in operators (ATen, c10d, custom
 /// libraries).  Called by the Session constructor; safe to call directly.
+/// OpIds are stable across re-entry: registration runs under std::call_once
+/// and the intern table only ever appends.
 void ensure_ops_registered();
 
 } // namespace mystique::fw
+
+/// Resolves an op-name literal to its OpId once per call site (thread-safe
+/// function-local static), for ExecFn/BackwardFn/model bodies that invoke
+/// child ops:
+///
+///   Tensor bt = s.call_t(MYST_OP("aten::t"), {IValue(b)});
+///
+/// Only valid where the op is already registered when the site first runs —
+/// true for anything executed through a Session, whose constructor calls
+/// ensure_ops_registered().
+#define MYST_OP(name)                                                                  \
+    ([]() -> ::mystique::OpId {                                                        \
+        static const ::mystique::OpId myst_resolved_op_id =                            \
+            ::mystique::fw::OpRegistry::instance().at(name).id;                        \
+        return myst_resolved_op_id;                                                    \
+    }())

@@ -56,7 +56,7 @@ convolution_backward_route(Session& s, const AutogradContext& ctx,
 {
     const Tensor& input = ctx.inputs[0].tensor();
     const Tensor& weight = ctx.inputs[1].tensor();
-    auto outs = s.call("aten::convolution_backward",
+    auto outs = s.call(MYST_OP("aten::convolution_backward"),
                        {IValue(gouts[0]), IValue(input), IValue(weight), ctx.inputs[3],
                         ctx.inputs[4]});
     Tensor gbias;
@@ -103,7 +103,7 @@ convolution_backward_fn(Session& s, const std::vector<IValue>& in)
 std::vector<IValue>
 conv2d_fn(Session& s, const std::vector<IValue>& in)
 {
-    Tensor out = s.call_t("aten::convolution", {in[0], in[1], in[2], in[3], in[4]});
+    Tensor out = s.call_t(MYST_OP("aten::convolution"), {in[0], in[1], in[2], in[3], in[4]});
     return {IValue(out)};
 }
 

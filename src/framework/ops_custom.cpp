@@ -47,7 +47,7 @@ std::vector<Tensor>
 lstm_layer_backward_route(Session& s, const AutogradContext& ctx,
                           const std::vector<Tensor>& gouts)
 {
-    auto outs = s.call("fairseq::lstm_layer_backward",
+    auto outs = s.call(MYST_OP("fairseq::lstm_layer_backward"),
                        {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1], ctx.inputs[2],
                         ctx.inputs[3]});
     return {outs[0].tensor(), outs[1].tensor(), outs[2].tensor(), outs[3].tensor()};
@@ -109,7 +109,7 @@ batched_embedding_backward_route(Session& s, const AutogradContext& ctx,
                                  const std::vector<Tensor>& gouts)
 {
     const Tensor& weights = ctx.inputs[0].tensor();
-    Tensor gw = s.call_t("fbgemm::batched_embedding_backward",
+    Tensor gw = s.call_t(MYST_OP("fbgemm::batched_embedding_backward"),
                          {IValue(gouts[0]), ctx.inputs[1], ctx.inputs[2],
                           IValue(weights.dim(0)), ctx.inputs[3]});
     return {gw, Tensor(), Tensor(), Tensor()};
@@ -214,7 +214,7 @@ std::vector<Tensor>
 interaction_arch_backward_route(Session& s, const AutogradContext& ctx,
                                 const std::vector<Tensor>& gouts)
 {
-    auto outs = s.call("meta::interaction_arch_backward",
+    auto outs = s.call(MYST_OP("meta::interaction_arch_backward"),
                        {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1]});
     ctx.list_grads.assign(ctx.inputs.size(), {});
     ctx.list_grads[1] = outs[1].tensor_list();

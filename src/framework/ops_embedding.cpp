@@ -40,7 +40,7 @@ embedding_bag_backward_route(Session& s, const AutogradContext& ctx,
                              const std::vector<Tensor>& gouts)
 {
     const Tensor& weight = ctx.inputs[0].tensor();
-    Tensor gw = s.call_t("aten::_embedding_bag_dense_backward",
+    Tensor gw = s.call_t(MYST_OP("aten::_embedding_bag_dense_backward"),
                          {IValue(gouts[0]), ctx.inputs[1], ctx.inputs[2],
                           IValue(weight.dim(0))});
     return {gw, Tensor(), Tensor(), Tensor()};

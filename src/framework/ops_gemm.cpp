@@ -37,12 +37,12 @@ mm_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& g
     const Tensor& b = ctx.inputs[1].tensor();
     Tensor ga, gb;
     if (a.requires_grad()) {
-        Tensor bt = s.call_t("aten::t", {IValue(b)});
-        ga = s.call_t("aten::mm", {IValue(go), IValue(bt)});
+        Tensor bt = s.call_t(MYST_OP("aten::t"), {IValue(b)});
+        ga = s.call_t(MYST_OP("aten::mm"), {IValue(go), IValue(bt)});
     }
     if (b.requires_grad()) {
-        Tensor at = s.call_t("aten::t", {IValue(a)});
-        gb = s.call_t("aten::mm", {IValue(at), IValue(go)});
+        Tensor at = s.call_t(MYST_OP("aten::t"), {IValue(a)});
+        gb = s.call_t(MYST_OP("aten::mm"), {IValue(at), IValue(go)});
     }
     return {ga, gb};
 }
@@ -82,17 +82,17 @@ addmm_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>
         if (bias.numel() == go.numel()) {
             gbias = go;
         } else {
-            gbias = s.call_t("aten::sum.dim_IntList",
+            gbias = s.call_t(MYST_OP("aten::sum.dim_IntList"),
                              {IValue(go), IValue(std::vector<int64_t>{0}), IValue(false)});
         }
     }
     if (a.requires_grad()) {
-        Tensor bt = s.call_t("aten::t", {IValue(b)});
-        ga = s.call_t("aten::mm", {IValue(go), IValue(bt)});
+        Tensor bt = s.call_t(MYST_OP("aten::t"), {IValue(b)});
+        ga = s.call_t(MYST_OP("aten::mm"), {IValue(go), IValue(bt)});
     }
     if (b.requires_grad()) {
-        Tensor at = s.call_t("aten::t", {IValue(a)});
-        gb = s.call_t("aten::mm", {IValue(at), IValue(go)});
+        Tensor at = s.call_t(MYST_OP("aten::t"), {IValue(a)});
+        gb = s.call_t(MYST_OP("aten::mm"), {IValue(at), IValue(go)});
     }
     return {gbias, ga, gb, Tensor(), Tensor()};
 }
@@ -121,12 +121,12 @@ bmm_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& 
     const Tensor& b = ctx.inputs[1].tensor();
     Tensor ga, gb;
     if (a.requires_grad()) {
-        Tensor bt = s.call_t("aten::transpose.int", {IValue(b), IValue(1), IValue(2)});
-        ga = s.call_t("aten::bmm", {IValue(go), IValue(bt)});
+        Tensor bt = s.call_t(MYST_OP("aten::transpose.int"), {IValue(b), IValue(1), IValue(2)});
+        ga = s.call_t(MYST_OP("aten::bmm"), {IValue(go), IValue(bt)});
     }
     if (b.requires_grad()) {
-        Tensor at = s.call_t("aten::transpose.int", {IValue(a), IValue(1), IValue(2)});
-        gb = s.call_t("aten::bmm", {IValue(at), IValue(go)});
+        Tensor at = s.call_t(MYST_OP("aten::transpose.int"), {IValue(a), IValue(1), IValue(2)});
+        gb = s.call_t(MYST_OP("aten::bmm"), {IValue(at), IValue(go)});
     }
     return {ga, gb};
 }
@@ -138,13 +138,13 @@ linear_fn(Session& s, const std::vector<IValue>& in)
 {
     const Tensor& input = in[0].tensor();
     const Tensor& weight = in[1].tensor();
-    Tensor wt = s.call_t("aten::t", {IValue(weight)});
+    Tensor wt = s.call_t(MYST_OP("aten::t"), {IValue(weight)});
     if (in.size() > 2 && in[2].is_tensor()) {
-        Tensor out = s.call_t("aten::addmm", {in[2], IValue(input), IValue(wt), IValue(1.0),
+        Tensor out = s.call_t(MYST_OP("aten::addmm"), {in[2], IValue(input), IValue(wt), IValue(1.0),
                                               IValue(1.0)});
         return {IValue(out)};
     }
-    Tensor out = s.call_t("aten::mm", {IValue(input), IValue(wt)});
+    Tensor out = s.call_t(MYST_OP("aten::mm"), {IValue(input), IValue(wt)});
     return {IValue(out)};
 }
 

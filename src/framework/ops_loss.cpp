@@ -47,7 +47,7 @@ std::vector<Tensor>
 log_softmax_backward_route(Session& s, const AutogradContext& ctx,
                            const std::vector<Tensor>& gouts)
 {
-    Tensor ga = s.call_t("aten::_log_softmax_backward_data",
+    Tensor ga = s.call_t(MYST_OP("aten::_log_softmax_backward_data"),
                          {IValue(gouts[0]), IValue(ctx.outputs[0].tensor()), ctx.inputs[1]});
     return {ga, Tensor()};
 }
@@ -85,7 +85,7 @@ std::vector<Tensor>
 nll_loss_backward_route(Session& s, const AutogradContext& ctx,
                         const std::vector<Tensor>& gouts)
 {
-    Tensor ga = s.call_t("aten::nll_loss_backward",
+    Tensor ga = s.call_t(MYST_OP("aten::nll_loss_backward"),
                          {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1]});
     return {ga, Tensor()};
 }
@@ -123,7 +123,7 @@ bce_fn(Session& s, const std::vector<IValue>& in)
 std::vector<Tensor>
 bce_backward_route(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
 {
-    Tensor ga = s.call_t("aten::binary_cross_entropy_with_logits_backward",
+    Tensor ga = s.call_t(MYST_OP("aten::binary_cross_entropy_with_logits_backward"),
                          {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1]});
     return {ga, Tensor()};
 }

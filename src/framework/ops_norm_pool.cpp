@@ -36,7 +36,7 @@ std::vector<Tensor>
 batch_norm_backward_route(Session& s, const AutogradContext& ctx,
                           const std::vector<Tensor>& gouts)
 {
-    auto outs = s.call("aten::native_batch_norm_backward",
+    auto outs = s.call(MYST_OP("aten::native_batch_norm_backward"),
                        {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1], ctx.inputs[4]});
     Tensor ggamma, gbeta;
     if (ctx.inputs[1].is_tensor() && ctx.inputs[1].tensor().requires_grad())
@@ -94,7 +94,7 @@ std::vector<Tensor>
 max_pool2d_backward_route(Session& s, const AutogradContext& ctx,
                           const std::vector<Tensor>& gouts)
 {
-    Tensor gi = s.call_t("aten::max_pool2d_backward",
+    Tensor gi = s.call_t(MYST_OP("aten::max_pool2d_backward"),
                          {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1], ctx.inputs[2],
                           ctx.inputs[3]});
     return {gi, Tensor(), Tensor(), Tensor()};
@@ -142,7 +142,7 @@ std::vector<Tensor>
 adaptive_avg_pool2d_backward_route(Session& s, const AutogradContext& ctx,
                                    const std::vector<Tensor>& gouts)
 {
-    Tensor gi = s.call_t("aten::adaptive_avg_pool2d_backward",
+    Tensor gi = s.call_t(MYST_OP("aten::adaptive_avg_pool2d_backward"),
                          {IValue(gouts[0]), ctx.inputs[0]});
     return {gi, Tensor()};
 }

@@ -49,7 +49,7 @@ reduce_grad_to(Session& s, const Tensor& grad, const Tensor& like)
     if (grad.numel() == like.numel())
         return grad;
     const Tensor flat = grad.view_as({grad.numel() / like.numel(), like.numel()});
-    Tensor summed = s.call_t("aten::sum.dim_IntList",
+    Tensor summed = s.call_t(MYST_OP("aten::sum.dim_IntList"),
                              {IValue(flat), IValue(std::vector<int64_t>{0}), IValue(false)});
     return summed.view_as(like.shape());
 }
@@ -72,7 +72,7 @@ add_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& 
     if (b.requires_grad()) {
         gb = reduce_grad_to(s, go, b);
         if (alpha != 1.0)
-            gb = s.call_t("aten::mul.Scalar", {IValue(gb), IValue(alpha)});
+            gb = s.call_t(MYST_OP("aten::mul.Scalar"), {IValue(gb), IValue(alpha)});
     }
     (void)a;
     return {ga, gb, Tensor()};
@@ -111,7 +111,7 @@ sub_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& 
     Tensor gb;
     if (b.requires_grad()) {
         gb = reduce_grad_to(s, go, b);
-        gb = s.call_t("aten::mul.Scalar", {IValue(gb), IValue(-alpha)});
+        gb = s.call_t(MYST_OP("aten::mul.Scalar"), {IValue(gb), IValue(-alpha)});
     }
     return {go, gb, Tensor()};
 }
@@ -141,9 +141,9 @@ mul_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& 
     const Tensor& b = ctx.inputs[1].tensor();
     Tensor ga, gb;
     if (a.requires_grad())
-        ga = s.call_t("aten::mul.Tensor", {IValue(go), IValue(b)});
+        ga = s.call_t(MYST_OP("aten::mul.Tensor"), {IValue(go), IValue(b)});
     if (b.requires_grad()) {
-        Tensor t = s.call_t("aten::mul.Tensor", {IValue(go), IValue(a)});
+        Tensor t = s.call_t(MYST_OP("aten::mul.Tensor"), {IValue(go), IValue(a)});
         gb = reduce_grad_to(s, t, b);
     }
     return {ga, gb};
@@ -165,7 +165,7 @@ std::vector<Tensor>
 mul_scalar_backward(Session& s, const AutogradContext& ctx,
                     const std::vector<Tensor>& gouts)
 {
-    Tensor ga = s.call_t("aten::mul.Scalar",
+    Tensor ga = s.call_t(MYST_OP("aten::mul.Scalar"),
                          {IValue(gouts[0]), IValue(ctx.inputs[1].to_double())});
     return {ga, Tensor()};
 }
@@ -236,7 +236,7 @@ dropout_backward(Session& s, const AutogradContext& ctx, const std::vector<Tenso
     const double p = ctx.inputs[1].to_double();
     const double scale = p < 1.0 ? 1.0 / (1.0 - p) : 1.0;
     const Tensor& mask = ctx.outputs[1].tensor();
-    Tensor ga = s.call_t("aten::native_dropout_backward",
+    Tensor ga = s.call_t(MYST_OP("aten::native_dropout_backward"),
                          {IValue(gouts[0]), IValue(mask), IValue(scale)});
     return {ga, Tensor(), Tensor()};
 }
@@ -301,7 +301,7 @@ register_pointwise_ops(OpRegistry& reg)
                      .backward =
                          [](Session& s, const AutogradContext& ctx,
                             const std::vector<Tensor>& gouts) -> std::vector<Tensor> {
-                         Tensor ga = s.call_t("aten::threshold_backward",
+                         Tensor ga = s.call_t(MYST_OP("aten::threshold_backward"),
                                               {IValue(gouts[0]),
                                                IValue(ctx.inputs[0].tensor()), IValue(0.0)});
                          return {ga};
@@ -323,7 +323,7 @@ register_pointwise_ops(OpRegistry& reg)
                      .backward =
                          [](Session& s, const AutogradContext& ctx,
                             const std::vector<Tensor>& gouts) -> std::vector<Tensor> {
-                         Tensor ga = s.call_t("aten::sigmoid_backward",
+                         Tensor ga = s.call_t(MYST_OP("aten::sigmoid_backward"),
                                               {IValue(gouts[0]),
                                                IValue(ctx.outputs[0].tensor())});
                          return {ga};
@@ -344,7 +344,7 @@ register_pointwise_ops(OpRegistry& reg)
                      .backward =
                          [](Session& s, const AutogradContext& ctx,
                             const std::vector<Tensor>& gouts) -> std::vector<Tensor> {
-                         Tensor ga = s.call_t("aten::tanh_backward",
+                         Tensor ga = s.call_t(MYST_OP("aten::tanh_backward"),
                                               {IValue(gouts[0]),
                                                IValue(ctx.outputs[0].tensor())});
                          return {ga};
@@ -371,7 +371,7 @@ register_pointwise_ops(OpRegistry& reg)
                      .backward =
                          [](Session& s, const AutogradContext& ctx,
                             const std::vector<Tensor>& gouts) -> std::vector<Tensor> {
-                         Tensor ga = s.call_t("aten::gelu_backward",
+                         Tensor ga = s.call_t(MYST_OP("aten::gelu_backward"),
                                               {IValue(gouts[0]),
                                                IValue(ctx.inputs[0].tensor())});
                          return {ga};
@@ -407,7 +407,7 @@ register_pointwise_ops(OpRegistry& reg)
          .backward =
              [](Session& s, const AutogradContext& ctx,
                 const std::vector<Tensor>& gouts) -> std::vector<Tensor> {
-             auto outs = s.call("aten::native_layer_norm_backward",
+             auto outs = s.call(MYST_OP("aten::native_layer_norm_backward"),
                                 {IValue(gouts[0]), ctx.inputs[0], ctx.inputs[1],
                                  ctx.inputs[3]});
              Tensor ggamma, gbeta;

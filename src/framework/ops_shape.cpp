@@ -165,8 +165,8 @@ cat_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& 
     int64_t start = 0;
     for (const auto& t : ts) {
         const int64_t len = t.dim(static_cast<std::size_t>(dim));
-        pieces.push_back(s.call_t(
-            "aten::narrow", {IValue(go), IValue(dim), IValue(start), IValue(len)}));
+        pieces.push_back(s.call_t(MYST_OP("aten::narrow"),
+                                  {IValue(go), IValue(dim), IValue(start), IValue(len)}));
         start += len;
     }
     ctx.list_grads.assign(ctx.inputs.size(), {});
@@ -210,7 +210,7 @@ std::vector<Tensor>
 narrow_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
 {
     const Tensor& a = ctx.inputs[0].tensor();
-    Tensor ga = s.call_t("aten::slice_backward",
+    Tensor ga = s.call_t(MYST_OP("aten::slice_backward"),
                          {IValue(gouts[0]), IValue(std::vector<int64_t>(a.shape())),
                           ctx.inputs[1], ctx.inputs[2], ctx.inputs[3]});
     return {ga, Tensor(), Tensor(), Tensor()};
@@ -259,8 +259,8 @@ std::vector<Tensor>
 sum_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
 {
     const Tensor& a = ctx.inputs[0].tensor();
-    Tensor ones = s.call_t("aten::ones_like", {IValue(a)});
-    Tensor ga = s.call_t("aten::mul.Tensor", {IValue(ones), IValue(gouts[0])});
+    Tensor ones = s.call_t(MYST_OP("aten::ones_like"), {IValue(a)});
+    Tensor ga = s.call_t(MYST_OP("aten::mul.Tensor"), {IValue(ones), IValue(gouts[0])});
     return {ga};
 }
 
@@ -322,9 +322,9 @@ std::vector<Tensor>
 mean_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>& gouts)
 {
     const Tensor& a = ctx.inputs[0].tensor();
-    Tensor ones = s.call_t("aten::ones_like", {IValue(a)});
-    Tensor g = s.call_t("aten::mul.Tensor", {IValue(ones), IValue(gouts[0])});
-    Tensor ga = s.call_t("aten::mul.Scalar",
+    Tensor ones = s.call_t(MYST_OP("aten::ones_like"), {IValue(a)});
+    Tensor g = s.call_t(MYST_OP("aten::mul.Tensor"), {IValue(ones), IValue(gouts[0])});
+    Tensor ga = s.call_t(MYST_OP("aten::mul.Scalar"),
                          {IValue(g), IValue(1.0 / static_cast<double>(a.numel()))});
     return {ga};
 }
@@ -332,14 +332,14 @@ mean_backward(Session& s, const AutogradContext& ctx, const std::vector<Tensor>&
 std::vector<Tensor>
 view_backward_t(Session& s, const AutogradContext&, const std::vector<Tensor>& gouts)
 {
-    return {s.call_t("aten::t", {IValue(gouts[0])})};
+    return {s.call_t(MYST_OP("aten::t"), {IValue(gouts[0])})};
 }
 
 std::vector<Tensor>
 view_backward_transpose(Session& s, const AutogradContext& ctx,
                         const std::vector<Tensor>& gouts)
 {
-    return {s.call_t("aten::transpose.int",
+    return {s.call_t(MYST_OP("aten::transpose.int"),
                      {IValue(gouts[0]), ctx.inputs[1], ctx.inputs[2]}),
             Tensor(), Tensor()};
 }
@@ -349,7 +349,7 @@ view_backward_reshape(Session& s, const AutogradContext& ctx,
                       const std::vector<Tensor>& gouts)
 {
     const Shape& orig = ctx.inputs[0].tensor().shape();
-    return {s.call_t("aten::reshape",
+    return {s.call_t(MYST_OP("aten::reshape"),
                      {IValue(gouts[0]), IValue(std::vector<int64_t>(orig))}),
             Tensor()};
 }

@@ -92,10 +92,25 @@ Session::switch_thread(int tid)
 }
 
 std::vector<IValue>
+Session::call(OpId op, std::vector<IValue> inputs)
+{
+    return dispatch(OpRegistry::instance().at(op), std::move(inputs));
+}
+
+std::vector<IValue>
 Session::call(const std::string& op_name, std::vector<IValue> inputs)
 {
     const OpDef& def = OpRegistry::instance().at(op_name);
     return dispatch(def, std::move(inputs));
+}
+
+Tensor
+Session::call_t(OpId op, std::vector<IValue> inputs)
+{
+    auto outs = call(op, std::move(inputs));
+    MYST_CHECK_MSG(!outs.empty() && outs[0].is_tensor(),
+                   OpRegistry::instance().name(op) << " did not produce a tensor output");
+    return outs[0].tensor();
 }
 
 Tensor
@@ -199,6 +214,7 @@ Session::dispatch(const OpDef& def, std::vector<IValue> inputs)
         et::Node node;
         node.id = node_id;
         node.name = def.name;
+        node.op_id.store(def.id);
         node.parent = parent;
         node.kind = et::NodeKind::kOperator;
         node.category = def.category;
@@ -249,10 +265,13 @@ Session::maybe_record_tape(const OpDef& def, const std::vector<IValue>& inputs,
         return;
 
     autograd::TapeNode node;
-    node.grad_name = def.grad_name.empty() ? def.name : def.grad_name;
+    node.op_id = def.id;
+    if (def.id == kInvalidOpId) {
+        node.dynamic_backward = def.backward;
+        node.dynamic_grad_name = def.grad_name.empty() ? def.name : def.grad_name;
+    }
     node.ctx.inputs = inputs;
     node.ctx.outputs = outputs;
-    node.backward = def.backward;
     for (const auto& v : outputs) {
         for (const auto& t : v.referenced_tensors())
             node.output_tensors.push_back(t.impl_ptr());

@@ -91,9 +91,13 @@ class Session {
     // ------------------------------------------------------------------ ops
 
     /// Invokes a registered operator with schema-ordered arguments.
+    /// The OpId overloads are the hot path (O(1) flat-vector resolution);
+    /// the string overloads resolve the name once and delegate.
+    std::vector<IValue> call(OpId op, std::vector<IValue> inputs);
     std::vector<IValue> call(const std::string& op_name, std::vector<IValue> inputs);
 
     /// Convenience: call and return the single tensor output.
+    Tensor call_t(OpId op, std::vector<IValue> inputs);
     Tensor call_t(const std::string& op_name, std::vector<IValue> inputs);
 
     /// Invokes a *dynamic* (non-registered) operator — used for JIT-fused

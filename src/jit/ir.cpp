@@ -339,6 +339,15 @@ parse_ir(const std::string& text)
 Function::Function(std::string name, Graph graph)
     : name_(std::move(name)), graph_(std::move(graph))
 {
+    // Resolve operator identities once at compile time (§4.3.4: all
+    // reconstruction work happens during initialization).  Ops not yet
+    // registered stay unresolved and are retried lazily by run().
+    for (const auto& node : graph_.nodes) {
+        if (node.op == "prim::Constant")
+            continue;
+        if (const fw::OpDef* def = fw::OpRegistry::instance().find(node.op))
+            node.op_id.store(def->id);
+    }
 }
 
 std::vector<fw::IValue>
@@ -365,7 +374,16 @@ Function::run(fw::Session& sess, const std::vector<fw::IValue>& tensor_inputs) c
                 MYST_THROW(ReplayError, "IR value '" << in << "' undefined in " << name_);
             args.push_back(it->second);
         }
-        std::vector<fw::IValue> outs = sess.call(node.op, std::move(args));
+        OpId op_id = node.op_id.load();
+        if (op_id == kInvalidOpId) {
+            if (const fw::OpDef* def = fw::OpRegistry::instance().find(node.op)) {
+                op_id = def->id;
+                node.op_id.store(op_id);
+            }
+        }
+        std::vector<fw::IValue> outs = op_id != kInvalidOpId
+                                           ? sess.call(op_id, std::move(args))
+                                           : sess.call(node.op, std::move(args));
         for (std::size_t i = 0; i < node.outputs.size() && i < outs.size(); ++i)
             env[node.outputs[i]] = outs[i];
     }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/op_id.h"
 #include "framework/ivalue.h"
 #include "jit/schema.h"
 
@@ -55,6 +56,11 @@ struct IrNode {
     std::string op;                        ///< "prim::Constant" or "aten::addmm"
     Constant constant;                     ///< valid when op == prim::Constant
     std::vector<std::string> inputs;       ///< "%x.1", "%4"
+    /// Interned identity of `op`, resolved once when the Function is
+    /// compiled (lazily for ops registered later), so the interpreter's
+    /// per-node dispatch never re-hashes the name.  A cache filled through
+    /// the const graph the interpreter walks.
+    OpIdCache op_id;
 };
 
 /// A parsed graph.

@@ -58,7 +58,7 @@ class ParamLinear final : public Workload {
                 x = fw::F::relu(s, x);
             }
         }
-        fw::Tensor loss = s.call_t("aten::mean", {fw::IValue(x)});
+        fw::Tensor loss = s.call_t(MYST_OP("aten::mean"), {fw::IValue(x)});
         s.backward(loss);
         if (ddp_)
             ddp_->wait_all(s); // gradients must be averaged before the update

@@ -155,7 +155,7 @@ class Rm final : public Workload {
         fw::Tensor bottom_out;
         {
             fw::RecordFunction rf(s, "## forward:dense ##");
-            fw::Tensor jagged = s.call_t("torchrec::jagged_to_padded_dense",
+            fw::Tensor jagged = s.call_t(MYST_OP("torchrec::jagged_to_padded_dense"),
                                          {fw::IValue(jv_d), fw::IValue(jo_d),
                                           fw::IValue(dims_.jagged_len)});
             fw::Tensor x = fw::F::cat(s, {dense_d, jagged}, 1);
@@ -174,13 +174,13 @@ class Rm final : public Workload {
                 features.push_back(emb_[static_cast<std::size_t>(t)].forward(
                     s, idx_dev[static_cast<std::size_t>(t)],
                     off_dev[static_cast<std::size_t>(t)]));
-            fw::Tensor fb = s.call_t("fbgemm::batched_embedding_lookup",
+            fw::Tensor fb = s.call_t(MYST_OP("fbgemm::batched_embedding_lookup"),
                                      {fw::IValue(fbgemm_weights_), fw::IValue(fb_idx_d),
                                       fw::IValue(fb_off_d), fw::IValue(fbgemm_tables_)});
             // [B, fbgemm_tables*dim] → per-table features
             for (int64_t t = 0; t < fbgemm_tables_; ++t)
                 features.push_back(s.call_t(
-                    "aten::narrow", {fw::IValue(fb), fw::IValue(static_cast<int64_t>(1)),
+                    MYST_OP("aten::narrow"), {fw::IValue(fb), fw::IValue(static_cast<int64_t>(1)),
                                      fw::IValue(t * dims_.emb_dim),
                                      fw::IValue(dims_.emb_dim)}));
             if (world_ > 1) {
@@ -195,7 +195,7 @@ class Rm final : public Workload {
                 features.resize(1);
                 for (int64_t t = 0; t < local_tables_; ++t)
                     features.push_back(s.call_t(
-                        "aten::narrow",
+                        MYST_OP("aten::narrow"),
                         {fw::IValue(exchanged), fw::IValue(static_cast<int64_t>(1)),
                          fw::IValue(t * dims_.emb_dim), fw::IValue(dims_.emb_dim)}));
             }
@@ -208,7 +208,7 @@ class Rm final : public Workload {
             // Production fused interaction kernel (custom op — not in the
             // replayer's default registry).
             std::vector<fw::Tensor> sparse(features.begin() + 1, features.end());
-            fw::Tensor x = s.call_t("meta::interaction_arch",
+            fw::Tensor x = s.call_t(MYST_OP("meta::interaction_arch"),
                                     {fw::IValue(bottom_out), fw::IValue(sparse)});
             for (std::size_t i = 0; i < top_in_.size(); ++i) {
                 fw::Tensor h = top_in_[i].forward(s, x);

@@ -1,0 +1,119 @@
+/// The intern table behind the OpId dispatch pipeline: dense ID assignment,
+/// stability across registration re-entry, string↔OpId round-trips, and the
+/// interned-but-unregistered / registered-later lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/error.h"
+#include "framework/op_registry.h"
+
+namespace mystique::fw {
+namespace {
+
+std::vector<IValue>
+noop_fn(Session&, const std::vector<IValue>&)
+{
+    return {};
+}
+
+TEST(OpRegistryTest, DuplicateRegistrationThrows)
+{
+    ensure_ops_registered();
+    OpRegistry& reg = OpRegistry::instance();
+    ASSERT_TRUE(reg.contains("aten::addmm"));
+    OpDef dup;
+    dup.name = "aten::addmm";
+    dup.fn = noop_fn;
+    EXPECT_THROW(reg.register_op(std::move(dup)), ConfigError);
+}
+
+TEST(OpRegistryTest, OpIdsStableAcrossEnsureReentry)
+{
+    ensure_ops_registered();
+    OpRegistry& reg = OpRegistry::instance();
+    std::map<std::string, OpId> before;
+    for (const auto& name : reg.names())
+        before[name] = reg.at(name).id;
+    ASSERT_FALSE(before.empty());
+
+    ensure_ops_registered(); // idempotent re-entry
+    for (const auto& [name, id] : before) {
+        EXPECT_EQ(reg.at(name).id, id) << name;
+        EXPECT_EQ(reg.lookup(name), id) << name;
+    }
+}
+
+TEST(OpRegistryTest, StringOpIdRoundTripForEveryRegisteredOp)
+{
+    ensure_ops_registered();
+    OpRegistry& reg = OpRegistry::instance();
+    const auto names = reg.names();
+    ASSERT_GT(names.size(), 50u); // all ten ops_*.cpp families registered
+    for (const auto& name : names) {
+        const OpId id = reg.lookup(name);
+        ASSERT_NE(id, kInvalidOpId) << name;
+        const OpDef& def = reg.at(id);
+        EXPECT_EQ(def.id, id) << name;
+        EXPECT_EQ(def.name, name);
+        EXPECT_EQ(reg.name(id), name);
+        EXPECT_EQ(&reg.at(name), &def) << "string wrapper must resolve to the same slot";
+        EXPECT_TRUE(reg.contains(id));
+    }
+}
+
+TEST(OpRegistryTest, OpIdsAreDenseAndUnique)
+{
+    ensure_ops_registered();
+    OpRegistry& reg = OpRegistry::instance();
+    std::map<OpId, std::string> by_id;
+    for (const auto& name : reg.names()) {
+        const OpId id = reg.at(name).id;
+        EXPECT_GE(id, 0);
+        EXPECT_LT(static_cast<std::size_t>(id), reg.id_bound());
+        const auto [it, inserted] = by_id.emplace(id, name);
+        EXPECT_TRUE(inserted) << name << " shares OpId " << id << " with " << it->second;
+    }
+}
+
+TEST(OpRegistryTest, InternedNameWithoutDefThenRegisteredKeepsItsId)
+{
+    ensure_ops_registered();
+    OpRegistry& reg = OpRegistry::instance();
+
+    // Interning alone (as trace statistics do for foreign ops) yields an ID
+    // with no definition behind it.
+    const OpId id = OpInterner::instance().intern("test::late_registered");
+    ASSERT_NE(id, kInvalidOpId);
+    EXPECT_EQ(reg.lookup("test::late_registered"), id);
+    EXPECT_EQ(reg.find(id), nullptr);
+    EXPECT_FALSE(reg.contains("test::late_registered"));
+    EXPECT_THROW(reg.at(id), ReplayError);
+
+    // Registration attaches the definition at the same, unchanged ID.
+    OpDef def;
+    def.name = "test::late_registered";
+    def.schema = "test::late_registered() -> ()";
+    def.fn = noop_fn;
+    reg.register_op(std::move(def));
+    ASSERT_TRUE(reg.contains("test::late_registered"));
+    EXPECT_EQ(reg.at("test::late_registered").id, id);
+    EXPECT_EQ(reg.find(id), &reg.at("test::late_registered"));
+}
+
+TEST(OpRegistryTest, UnknownLookups)
+{
+    ensure_ops_registered();
+    OpRegistry& reg = OpRegistry::instance();
+    EXPECT_EQ(reg.lookup("no::such_op"), kInvalidOpId);
+    EXPECT_EQ(reg.find("no::such_op"), nullptr);
+    EXPECT_EQ(reg.find(kInvalidOpId), nullptr);
+    EXPECT_EQ(reg.find(static_cast<OpId>(reg.id_bound())), nullptr);
+    EXPECT_THROW(reg.at("no::such_op"), ReplayError);
+    EXPECT_THROW(reg.at(kInvalidOpId), ReplayError);
+}
+
+} // namespace
+} // namespace mystique::fw
