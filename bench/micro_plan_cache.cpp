@@ -1,0 +1,174 @@
+/// @file
+/// Micro-benchmark and regression gate for the shared-replay-plan subsystem.
+///
+/// Three measurements, printed human-readably plus one JSON summary line
+/// (`micro_plan_cache_json: {...}`) that scripts/ci.sh surfaces:
+///
+///   1. cold   — full ReplayPlan::build (selection + coverage +
+///               reconstruction + stream assignment) on a traced workload;
+///   2. hit    — PlanCache::get_or_build served from cache for an
+///               *equivalent* trace (equal fingerprint, distinct object),
+///               i.e. what the N-th replay of a trace-database group pays;
+///   3. sweep  — ReplayDriver::replay_groups over a multi-group database,
+///               first sweep (plans built) vs second sweep (all cache hits).
+///
+/// Exits nonzero unless a cache hit is ≥10x cheaper than a cold build and
+/// the batched sweep produces correctly weighted, cache-served results —
+/// the tentpole's perf claim stays enforced in the bench trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "core/plan_cache.h"
+#include "core/replay_driver.h"
+#include "et/trace_db.h"
+
+namespace {
+
+using namespace mystique;
+
+double
+now_us()
+{
+    return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count()) /
+           1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::print_header("micro_plan_cache: shared replay plans & batched sweeps");
+
+    // Trace a mixed workload set once (tiny presets: build cost, not device
+    // time, is what this bench measures).
+    wl::RunConfig run_cfg;
+    run_cfg.mode = fw::ExecMode::kShapeOnly;
+    run_cfg.warmup_iterations = 1;
+    run_cfg.iterations = 2;
+    wl::WorkloadOptions tiny;
+    tiny.preset = wl::Preset::kTiny;
+    const wl::RunResult pl = wl::run_original("param_linear", tiny, run_cfg);
+    const wl::RunResult rm = wl::run_original("rm", tiny, run_cfg);
+    const wl::RunResult asr = wl::run_original("asr", tiny, run_cfg);
+
+    core::ReplayConfig cfg = bench::bench_replay_config();
+    cfg.iterations = 2;
+
+    // ---- 1. cold build ---------------------------------------------------
+    constexpr int kColdReps = 7;
+    double cold_us = 1e300;
+    for (int i = 0; i < kColdReps; ++i) {
+        const double t0 = now_us();
+        auto plan = core::ReplayPlan::build(rm.rank0().trace, &rm.rank0().prof, cfg);
+        const double dt = now_us() - t0;
+        if (plan->ops().empty())
+            return 1; // plan must not be empty (and keeps the build observable)
+        if (dt < cold_us)
+            cold_us = dt;
+    }
+
+    // ---- 2. cache hit on an equivalent trace -----------------------------
+    core::PlanCache cache(16);
+    (void)cache.get_or_build(rm.rank0().trace, &rm.rank0().prof, cfg); // prime (miss)
+    const et::ExecutionTrace equivalent = rm.rank0().trace; // distinct object
+    (void)cache.get_or_build(equivalent, &rm.rank0().prof, cfg); // warm its fp cache
+    constexpr int kHitReps = 2000;
+    const double h0 = now_us();
+    for (int i = 0; i < kHitReps; ++i) {
+        auto plan = cache.get_or_build(equivalent, &rm.rank0().prof, cfg);
+        if (plan == nullptr)
+            return 1;
+    }
+    const double hit_us = (now_us() - h0) / kHitReps;
+    const core::PlanCacheStats hit_stats = cache.stats();
+
+    // ---- 3. batched database sweep ---------------------------------------
+    et::TraceDatabase db;
+    for (int i = 0; i < 3; ++i)
+        db.add(pl.rank0().trace);
+    for (int i = 0; i < 2; ++i)
+        db.add(rm.rank0().trace);
+    db.add(asr.rank0().trace);
+    std::vector<const prof::ProfilerTrace*> profs{&pl.rank0().prof, &pl.rank0().prof,
+                                                  &pl.rank0().prof, &rm.rank0().prof,
+                                                  &rm.rank0().prof, &asr.rank0().prof};
+
+    core::PlanCache sweep_cache(16);
+    core::ReplayDriver driver(cfg, &sweep_cache);
+    const double s0 = now_us();
+    const core::DatabaseReplayResult sweep1 = driver.replay_groups(db, SIZE_MAX, &profs);
+    const double sweep1_us = now_us() - s0;
+    const double s1 = now_us();
+    const core::DatabaseReplayResult sweep2 = driver.replay_groups(db, SIZE_MAX, &profs);
+    const double sweep2_us = now_us() - s1;
+
+    const double speedup = hit_us > 0.0 ? cold_us / hit_us : 1e9;
+    std::printf("  %-34s %12.1f us\n", "cold plan build (rm, best of 7)", cold_us);
+    std::printf("  %-34s %12.3f us   (%.0fx faster)\n", "plan-cache hit (equivalent trace)",
+                hit_us, speedup);
+    std::printf("  %-34s %12.1f us   (%zu groups, plans built)\n", "database sweep, cold",
+                sweep1_us, sweep1.groups.size());
+    std::printf("  %-34s %12.1f us   (all plans cache-served)\n", "database sweep, warm",
+                sweep2_us);
+    std::printf("  weighted mean iter: %.2f us over %.0f%% of the population\n",
+                sweep1.weighted_mean_iter_us, 100.0 * sweep1.population_covered);
+
+    Json j = Json::object();
+    j.set("cold_build_us", Json(cold_us));
+    j.set("cache_hit_us", Json(hit_us));
+    j.set("hit_speedup", Json(speedup));
+    j.set("sweep_cold_us", Json(sweep1_us));
+    j.set("sweep_warm_us", Json(sweep2_us));
+    j.set("groups", Json(static_cast<int64_t>(sweep1.groups.size())));
+    j.set("weighted_mean_iter_us", Json(sweep1.weighted_mean_iter_us));
+    j.set("population_covered", Json(sweep1.population_covered));
+    std::printf("micro_plan_cache_json: %s\n", j.dump().c_str());
+
+    // ---- gates ------------------------------------------------------------
+    bool ok = true;
+    if (hit_us * 10.0 >= cold_us) {
+        std::printf("FAIL: cache hit (%.3f us) is not >=10x cheaper than cold build "
+                    "(%.1f us)\n",
+                    hit_us, cold_us);
+        ok = false;
+    }
+    if (hit_stats.hits < kHitReps || hit_stats.misses != 1) {
+        std::printf("FAIL: hit/miss accounting off (hits=%llu misses=%llu)\n",
+                    static_cast<unsigned long long>(hit_stats.hits),
+                    static_cast<unsigned long long>(hit_stats.misses));
+        ok = false;
+    }
+    if (sweep1.groups.size() != 3 || sweep1.population_covered < 0.999 ||
+        sweep1.weighted_mean_iter_us <= 0.0) {
+        std::printf("FAIL: sweep did not cover the database's 3 groups\n");
+        ok = false;
+    } else if (sweep1.groups[0].group.population_weight <
+                   sweep1.groups[1].group.population_weight ||
+               sweep1.groups[1].group.population_weight <
+                   sweep1.groups[2].group.population_weight) {
+        // Weight order: param_linear 3/6, rm 2/6, asr 1/6.
+        std::printf("FAIL: groups not ordered by population weight\n");
+        ok = false;
+    }
+    if (sweep2.cache.misses != sweep1.cache.misses ||
+        sweep2.cache.hits < sweep1.cache.hits + sweep1.groups.size()) {
+        std::printf("FAIL: second sweep was not served from the plan cache\n");
+        ok = false;
+    }
+    if (sweep2.weighted_mean_iter_us != sweep1.weighted_mean_iter_us) {
+        std::printf("FAIL: cache-served sweep diverged from cold sweep\n");
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::printf("OK: plan-cache hits skip the build phase (>=10x) and batched sweeps "
+                "replay through the cache\n");
+    return 0;
+}

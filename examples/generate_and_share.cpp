@@ -13,6 +13,7 @@
 #include "core/codegen.h"
 #include "core/obfuscator.h"
 #include "core/replayer.h"
+#include "framework/op_registry.h"
 #include "workloads/harness.h"
 
 int
@@ -35,7 +36,7 @@ main(int argc, char** argv)
     const et::ExecutionTrace obf = core::obfuscate(r0.trace, r0.prof);
     int proxies = 0;
     for (const auto& n : obf.nodes())
-        proxies += n.name == "obf::proxy" ? 1 : 0;
+        proxies += n.is_op() && et::resolve_op_id(n) == MYST_OP("obf::proxy") ? 1 : 0;
     std::printf("obfuscated: %zu nodes, %d custom subtrees replaced by obf::proxy\n",
                 obf.size(), proxies);
 

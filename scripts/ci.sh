@@ -8,3 +8,8 @@ cmake -B build -S .
 cmake --build build -j
 cd build
 ctest --output-on-failure -j "$(nproc)"
+
+# Surface the perf-gate summaries in the CI log (both already ran — and
+# gated — under ctest; this re-run just makes the numbers easy to find).
+echo "== bench summaries =="
+./bench_micro_plan_cache | grep -E "micro_plan_cache_json:|^OK:|^FAIL:"

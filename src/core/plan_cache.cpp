@@ -1,0 +1,134 @@
+#include "core/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mystique::core {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1))
+{
+}
+
+PlanCache&
+PlanCache::instance()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+std::shared_ptr<const ReplayPlan>
+PlanCache::get_or_build(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+                        const ReplayConfig& cfg)
+{
+    const PlanKey key = plan_key(trace, prof, cfg);
+
+    std::promise<std::shared_ptr<const ReplayPlan>> promise;
+    std::shared_future<std::shared_ptr<const ReplayPlan>> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            // Hit — including concurrent requests that arrive while the first
+            // build is still in flight; they wait on the same future below.
+            ++hits_;
+            it->second.last_used = ++tick_;
+            future = it->second.plan;
+        } else {
+            ++misses_;
+            builder = true;
+            future = promise.get_future().share();
+            entries_[key] = Entry{future, /*ready=*/false, ++tick_};
+        }
+    }
+
+    if (!builder)
+        return future.get();
+
+    // Builder path: construct outside the lock so unrelated keys (and their
+    // waiters) make progress concurrently.
+    try {
+        std::shared_ptr<const ReplayPlan> plan =
+            ReplayPlan::build_with_key(trace, prof, cfg, key);
+        promise.set_value(plan);
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end())
+            it->second.ready = true;
+        evict_excess_locked();
+        return plan;
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.erase(key); // later requests retry instead of caching failure
+        throw;
+    }
+}
+
+std::shared_ptr<const ReplayPlan>
+PlanCache::lookup(const PlanKey& key) const
+{
+    std::shared_future<std::shared_ptr<const ReplayPlan>> future;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end() || !it->second.ready)
+            return nullptr;
+        future = it->second.plan;
+    }
+    return future.get();
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PlanCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.size = entries_.size();
+    s.capacity = capacity_;
+    return s;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // Keep in-flight builds (their owners still hold the promise); dropping
+    // them here would not cancel the build anyway.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        it = it->second.ready ? entries_.erase(it) : std::next(it);
+    }
+    hits_ = misses_ = evictions_ = 0;
+    tick_ = 0;
+}
+
+void
+PlanCache::set_capacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = std::max<std::size_t>(capacity, 1);
+    evict_excess_locked();
+}
+
+void
+PlanCache::evict_excess_locked()
+{
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!it->second.ready)
+                continue; // never evict an in-flight build
+            if (victim == entries_.end() || it->second.last_used < victim->second.last_used)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return; // everything over capacity is still building
+        entries_.erase(victim);
+        ++evictions_;
+    }
+}
+
+} // namespace mystique::core

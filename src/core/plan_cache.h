@@ -1,0 +1,88 @@
+#pragma once
+
+/// @file
+/// Process-wide, fingerprint-keyed cache of compiled replay plans.
+///
+/// Production trace databases group equivalent ETs by operator-mix
+/// fingerprint and replay representatives by population weight (§8.2); the
+/// cache is what makes the N-th replay of an equivalent trace skip the whole
+/// build phase (selection + coverage + reconstruction + stream assignment).
+/// `Replayer::run_distributed` and `ReplayDriver` fetch through it, so N
+/// ranks replaying equivalent traces share one plan built once.
+///
+/// Concurrency: lookups are mutex-guarded, but plan *builds* happen outside
+/// the lock behind a per-key shared_future — the first requester builds,
+/// concurrent requesters of the same key wait on the future (counted as
+/// hits), and requesters of different keys build in parallel.  A build that
+/// throws erases its entry so later requests retry, and rethrows to every
+/// waiter.
+///
+/// Lifecycle: entries are LRU-evicted beyond `capacity`.  Eviction only drops
+/// the cache's reference; executors holding `shared_ptr<const ReplayPlan>`
+/// keep replaying safely.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/replay_plan.h"
+
+namespace mystique::core {
+
+/// Hit/miss accounting, exposed for benchmarks and tests.
+struct PlanCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+};
+
+class PlanCache {
+  public:
+    static constexpr std::size_t kDefaultCapacity = 64;
+
+    explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+    /// The process-wide instance used by run_distributed / ReplayDriver.
+    static PlanCache& instance();
+
+    /// Returns the plan for (trace, prof, cfg), building it on first request.
+    /// Equivalent traces (equal fingerprints) under the same supported set
+    /// and plan-shaping config share one plan.
+    std::shared_ptr<const ReplayPlan> get_or_build(const et::ExecutionTrace& trace,
+                                                   const prof::ProfilerTrace* prof,
+                                                   const ReplayConfig& cfg);
+
+    /// Peeks without building (and without stats side effects); nullptr on
+    /// miss or while the key's build is still in flight.
+    std::shared_ptr<const ReplayPlan> lookup(const PlanKey& key) const;
+
+    PlanCacheStats stats() const;
+
+    /// Drops every completed entry and zeroes the counters (tests).
+    void clear();
+
+    void set_capacity(std::size_t capacity);
+
+  private:
+    struct Entry {
+        std::shared_future<std::shared_ptr<const ReplayPlan>> plan;
+        bool ready = false;    ///< set once the build completed successfully
+        uint64_t last_used = 0;
+    };
+
+    void evict_excess_locked();
+
+    mutable std::mutex mu_;
+    std::size_t capacity_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    std::unordered_map<PlanKey, Entry, PlanKeyHash> entries_;
+};
+
+} // namespace mystique::core

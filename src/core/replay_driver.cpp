@@ -1,0 +1,69 @@
+#include "core/replay_driver.h"
+
+#include "common/error.h"
+#include "device/platform.h"
+
+namespace mystique::core {
+
+ReplayDriver::ReplayDriver(ReplayConfig cfg, PlanCache* cache)
+    : cfg_(std::move(cfg)), cache_(cache)
+{
+    MYST_CHECK(cache_ != nullptr);
+}
+
+DatabaseReplayResult
+ReplayDriver::replay_groups(const et::TraceDatabase& db, std::size_t top_k,
+                            const std::vector<const prof::ProfilerTrace*>* profs)
+{
+    DatabaseReplayResult out;
+    if (db.size() == 0 || top_k == 0) {
+        out.cache = cache_->stats();
+        return out;
+    }
+
+    // One session/fabric for the whole sweep: session construction, operator
+    // registration and the device model are amortized across every group.
+    fw::SessionOptions opts;
+    opts.platform = dev::platform(cfg_.platform);
+    opts.mode = cfg_.mode;
+    opts.seed = cfg_.seed;
+    opts.rank = 0;
+    opts.world_size = 1;
+    opts.power_limit_w = cfg_.power_limit_w;
+    opts.dispatch = fw::DispatchProfile::replay();
+    fw::Session session(opts);
+    auto fabric = std::make_shared<comm::CommFabric>(1);
+
+    double weight_sum = 0.0;
+    double weighted_us = 0.0;
+    for (const et::TraceGroup& group : db.analyze()) {
+        if (out.groups.size() >= top_k)
+            break;
+        const std::size_t rep = group.representative();
+        const prof::ProfilerTrace* prof =
+            profs != nullptr && rep < profs->size() ? (*profs)[rep] : nullptr;
+
+        const std::shared_ptr<const ReplayPlan> plan =
+            cache_->get_or_build(db.trace(rep), prof, cfg_);
+
+        // Previous group's process groups must not leak into this trace's
+        // pg-id space.
+        session.clear_process_groups();
+        Replayer executor(plan, cfg_);
+        GroupReplayResult g;
+        g.group = group;
+        g.representative = rep;
+        g.result = executor.run_with(session, fabric);
+
+        weight_sum += group.population_weight;
+        weighted_us += group.population_weight * g.result.mean_iter_us;
+        out.groups.push_back(std::move(g));
+    }
+
+    out.population_covered = weight_sum;
+    out.weighted_mean_iter_us = weight_sum > 0.0 ? weighted_us / weight_sum : 0.0;
+    out.cache = cache_->stats();
+    return out;
+}
+
+} // namespace mystique::core

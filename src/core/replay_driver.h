@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file
+/// Batched multi-trace replay over a trace database (§8.2).
+///
+/// The production pipeline of Figure 3 at fleet scale: the ET analyzer groups
+/// a database's traces by operator-mix fingerprint; the driver then replays
+/// one *representative* per group — fetching each group's plan through the
+/// PlanCache, so equivalent groups across sweeps (and repeated sweeps of the
+/// same database) never rebuild — on a single shared session/fabric, and
+/// weights each group's replayed time by its population weight.  This is the
+/// "generate once, reuse across the population" amortization: session setup,
+/// operator registration and plan builds are paid once per distinct group,
+/// not once per trace.
+///
+/// Layering note: TraceDatabase lives in et/ (below core/), so the database
+/// sweep entry point lives here as ReplayDriver::replay_groups(db) rather
+/// than as a TraceDatabase method.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "core/replayer.h"
+#include "et/trace_db.h"
+
+namespace mystique::core {
+
+/// One group's replay outcome.
+struct GroupReplayResult {
+    et::TraceGroup group;
+    /// Database index of the replayed representative (group.members.front()).
+    std::size_t representative = 0;
+    ReplayResult result;
+};
+
+/// Whole-database sweep outcome.
+struct DatabaseReplayResult {
+    std::vector<GroupReplayResult> groups;
+    /// Population-weighted mean iteration time over the replayed groups:
+    /// Σ(weight·mean) / Σ(weight) — the fleet-level per-iteration estimate.
+    double weighted_mean_iter_us = 0.0;
+    /// Fraction of the database population the replayed groups cover
+    /// (1.0 when every group was replayed; less under top_k truncation).
+    double population_covered = 0.0;
+    /// Plan-cache counters observed after the sweep.
+    PlanCacheStats cache;
+};
+
+/// Sweeps a trace database: analyze → one cached plan per group → replay
+/// representatives on one shared session/fabric → weight by population.
+class ReplayDriver {
+  public:
+    /// @param cache  defaults to the process-wide cache; tests inject one.
+    explicit ReplayDriver(ReplayConfig cfg, PlanCache* cache = &PlanCache::instance());
+
+    /// Replays the @p top_k most-populous groups (all groups by default).
+    /// @param profs  optional per-trace profiler traces, parallel to the
+    ///        database's indices; null entries (or a null vector) build
+    ///        plans without stream assignments.
+    DatabaseReplayResult
+    replay_groups(const et::TraceDatabase& db,
+                  std::size_t top_k = std::numeric_limits<std::size_t>::max(),
+                  const std::vector<const prof::ProfilerTrace*>* profs = nullptr);
+
+  private:
+    ReplayConfig cfg_;
+    PlanCache* cache_;
+};
+
+} // namespace mystique::core

@@ -1,0 +1,182 @@
+#include "core/replay_plan.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "framework/op_registry.h"
+
+namespace mystique::core {
+
+uint64_t
+ReplayConfig::fingerprint() const
+{
+    Fnv1a h;
+    h.mix(platform);
+    h.mix_pod(mode);
+    h.mix_pod(filter.subtrace_root.has_value());
+    if (filter.subtrace_root.has_value())
+        h.mix(*filter.subtrace_root);
+    h.mix_pod(filter.only_category.has_value());
+    if (filter.only_category.has_value())
+        h.mix_pod(*filter.only_category);
+    h.mix_pod(embedding.distribution);
+    h.mix_pod(embedding.zipf_s);
+    // Custom-op set: sorted so registration order cannot split the key.
+    std::vector<std::string> custom = custom_ops.registered();
+    std::sort(custom.begin(), custom.end());
+    for (const auto& name : custom)
+        h.mix(name);
+    h.mix_pod(emulate_world_size);
+    return h.value();
+}
+
+std::size_t
+PlanKeyHash::operator()(const PlanKey& k) const
+{
+    Fnv1a h;
+    h.mix_pod(k.trace_fp);
+    h.mix_pod(k.supported_fp);
+    h.mix_pod(k.config_fp);
+    h.mix_pod(k.prof_fp);
+    h.mix_pod(k.has_prof);
+    return static_cast<std::size_t>(h.value());
+}
+
+uint64_t
+supported_set_fingerprint(const CustomOpRegistry& custom)
+{
+    fw::ensure_ops_registered();
+    const fw::OpRegistry& reg = fw::OpRegistry::instance();
+
+    // Memo: the registry is append-only, so (custom-op set, registry bound)
+    // fully determines the supported set.  This keeps the per-lookup cost of
+    // PlanCache::get_or_build at a couple of hashes instead of a full
+    // registry walk.
+    Fnv1a memo_key;
+    {
+        std::vector<std::string> names = custom.registered();
+        std::sort(names.begin(), names.end());
+        for (const auto& name : names)
+            memo_key.mix(name);
+        memo_key.mix_pod(reg.id_bound());
+    }
+    static std::mutex memo_mu;
+    static std::unordered_map<uint64_t, uint64_t> memo;
+    {
+        std::lock_guard<std::mutex> lock(memo_mu);
+        auto it = memo.find(memo_key.value());
+        if (it != memo.end())
+            return it->second;
+    }
+
+    const SupportedSet supported = SupportedSet::build(custom);
+    // Hash the supported *names* in sorted OpId order; OpIds themselves are
+    // process-local and never enter the hash.
+    std::vector<const std::string*> names;
+    for (OpId id = 0; static_cast<std::size_t>(id) < reg.id_bound(); ++id) {
+        if (supported.contains(id))
+            names.push_back(&reg.name(id));
+    }
+    std::sort(names.begin(), names.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    Fnv1a h;
+    for (const std::string* name : names)
+        h.mix(*name);
+    {
+        std::lock_guard<std::mutex> lock(memo_mu);
+        memo[memo_key.value()] = h.value();
+    }
+    return h.value();
+}
+
+PlanKey
+plan_key(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+         const ReplayConfig& cfg)
+{
+    PlanKey key;
+    key.trace_fp = trace.structural_fingerprint();
+    key.supported_fp = supported_set_fingerprint(cfg.custom_ops);
+    key.config_fp = cfg.fingerprint();
+    key.prof_fp = prof != nullptr ? prof->replay_fingerprint() : 0;
+    key.has_prof = prof != nullptr;
+    return key;
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::build(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+                  const ReplayConfig& cfg)
+{
+    return build_impl(nullptr, &trace, prof, cfg, nullptr);
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::build_with_key(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+                           const ReplayConfig& cfg, const PlanKey& key)
+{
+    return build_impl(nullptr, &trace, prof, cfg, &key);
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::build_borrowing(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+                            const ReplayConfig& cfg)
+{
+    return build_impl(&trace, nullptr, prof, cfg, nullptr);
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::build_impl(const et::ExecutionTrace* borrowed, const et::ExecutionTrace* copied,
+                       const prof::ProfilerTrace* prof, const ReplayConfig& cfg,
+                       const PlanKey* precomputed_key)
+{
+    fw::ensure_ops_registered();
+    auto plan = std::shared_ptr<ReplayPlan>(new ReplayPlan());
+    if (borrowed != nullptr) {
+        plan->trace_ = borrowed;
+    } else {
+        plan->owned_trace_ = *copied; // private copy: plan outlives caller's trace
+        plan->trace_ = &plan->owned_trace_;
+    }
+    const et::ExecutionTrace& trace = *plan->trace_;
+    if (precomputed_key != nullptr) {
+        plan->key_ = *precomputed_key;
+    } else if (borrowed != nullptr) {
+        // One-shot path: only the components the executor's config check
+        // reads; skip the O(trace) structural hash that nothing consumes.
+        plan->key_.config_fp = cfg.fingerprint();
+        plan->key_.has_prof = prof != nullptr;
+    } else {
+        plan->key_ = plan_key(trace, prof, cfg);
+    }
+    plan->selection_ = select_ops(trace, cfg.custom_ops, cfg.filter);
+    plan->coverage_ = mystique::core::coverage(trace, plan->selection_, prof);
+
+    // Reconstruct every selected op up-front (§4.3.4: initialization phase).
+    plan->ops_.reserve(plan->selection_.ops.size());
+    for (const auto& sel : plan->selection_.ops) {
+        const et::Node* node = trace.find(sel.node_id);
+        MYST_CHECK(node != nullptr);
+        ReconstructedOp op = plan->reconstructor_.reconstruct(*node, sel.supported);
+
+        // Stream assignment from the profiler trace (§4.5): an op's kernels
+        // correlate with its own node or its descendants'.
+        if (prof != nullptr && op.kind != ReconstructedOp::Kind::kSkipped) {
+            auto it = plan->selection_.subtree_ids.find(sel.node_id);
+            if (it != plan->selection_.subtree_ids.end()) {
+                for (int64_t sub_id : it->second) {
+                    auto streams = prof->streams_for_node(sub_id);
+                    if (!streams.empty()) {
+                        op.stream = streams.front();
+                        break;
+                    }
+                }
+            }
+        }
+        plan->ops_.push_back(std::move(op));
+    }
+    return plan;
+}
+
+} // namespace mystique::core

@@ -1,0 +1,176 @@
+#pragma once
+
+/// @file
+/// Shared replay plans (§8.2 fleet-scale story).
+///
+/// A ReplayPlan is the immutable output of the replay *build phase*:
+/// selection (§4.2) + coverage accounting (§6.3) + reconstructed callables
+/// (§4.3) + per-op stream assignments (§4.5), all OpId-indexed.  Building a
+/// plan is the expensive part of replay setup; executing one is cheap.  The
+/// split lets equivalent traces — the trace-database grouping case — share
+/// one plan across many replays and many rank threads.
+///
+/// Immutability & thread-safety: a plan owns a private copy of the trace it
+/// was built from (so it is self-contained and safe to cache process-wide),
+/// and after build() returns nothing in it is ever written again except the
+/// relaxed-atomic OpIdCache slots inside its own trace copy and compiled IR
+/// graphs, whose idempotent writes are race-free by design (common/op_id.h).
+/// Concurrent rank executors may therefore hold `shared_ptr<const ReplayPlan>`
+/// and replay it simultaneously.
+///
+/// Identity: plans are keyed by PlanKey = (trace structural fingerprint,
+/// supported-OpId-set fingerprint, ReplayConfig fingerprint, profiler
+/// stream-map fingerprint).  ReplayConfig::fingerprint() covers exactly the fields that
+/// shape a plan or its replayed timing per trace (platform, mode, filter,
+/// embedding generation, custom-op set, emulate_world_size) and excludes
+/// run-harness knobs (iterations, warmup, seed, power limit, profiling), so
+/// re-measuring the same benchmark with different iteration counts still
+/// hits the cache.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/reconstruction.h"
+#include "core/selection.h"
+#include "core/tensor_manager.h"
+#include "et/trace.h"
+#include "profiler/profiler.h"
+
+namespace mystique::core {
+
+/// Replay configuration.
+struct ReplayConfig {
+    std::string platform = "A100";
+    fw::ExecMode mode = fw::ExecMode::kShapeOnly;
+    int warmup_iterations = 1;
+    int iterations = 5;
+    uint64_t seed = 0xB53C;
+    std::optional<double> power_limit_w;
+
+    /// Subtrace / operator-type filters (§7.1).
+    SelectionFilter filter;
+
+    /// Embedding index generation (§4.4's refinement interface).
+    EmbeddingGenConfig embedding;
+
+    /// Replayable custom ops (§4.3.3).
+    CustomOpRegistry custom_ops = CustomOpRegistry::with_defaults();
+
+    /// Scaled-down emulation (§7.3): 0 = off (rendezvous at actual size);
+    /// -1 = emulate the *original* group sizes from the trace metadata;
+    /// >0 = emulate this world size.
+    int emulate_world_size = 0;
+
+    /// Collect a profiler trace of the replay run (needed for similarity).
+    bool collect_profiler = true;
+
+    /// Stable hash over the plan-shaping fields only: platform, mode, filter,
+    /// embedding, custom-op set, emulate_world_size.  Harness knobs that do
+    /// not change what gets built or how each op replays — iterations,
+    /// warmup_iterations, seed, power_limit_w, collect_profiler — are
+    /// deliberately excluded so they cannot fragment the plan cache.
+    uint64_t fingerprint() const;
+};
+
+/// The composite plan-cache key.  All components are name/value-based hashes
+/// (never process-local OpIds), so equal keys mean "structurally identical
+/// trace, same replayable set, same plan-shaping config".  The trace
+/// component is the *structural* fingerprint (node order, schemas, shapes,
+/// argument values, process groups) — not the coarse operator-mix hash the
+/// database analyzer groups by — because a plan bakes shapes and stream
+/// assignments in; traces that merely share an op mix must not silently
+/// substitute for one another at the cache layer.  (Replaying a group
+/// *representative* in place of its members is still the driver's explicit
+/// policy, per §8.2 — the approximation lives there, visibly, not here.)
+struct PlanKey {
+    uint64_t trace_fp = 0;     ///< ExecutionTrace::structural_fingerprint()
+    uint64_t supported_fp = 0; ///< supported-set fingerprint (registry ∩ custom)
+    uint64_t config_fp = 0;    ///< ReplayConfig::fingerprint()
+    /// ProfilerTrace::replay_fingerprint() of the prof the plan was built
+    /// from (0 for prof-less builds): stream assignments come from the
+    /// prof's *content* (its correlation→stream mapping), so plans built
+    /// from behaviorally different profiler traces must not substitute for
+    /// one another.  (Coverage statistics also derive from the prof but are
+    /// representative-level by §8.2; timing jitter does not split the key.)
+    uint64_t prof_fp = 0;
+    bool has_prof = false; ///< disambiguates "no prof" from an empty prof
+
+    bool operator==(const PlanKey&) const = default;
+};
+
+struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& k) const;
+};
+
+/// Fingerprint of the replayer's supported set under @p custom and the
+/// current operator registry — the "supported-OpId set" key component.
+/// Hashes supported op *names* so the value is stable across processes.
+uint64_t supported_set_fingerprint(const CustomOpRegistry& custom);
+
+/// Computes the cache key for a (trace, prof, config) build request.
+PlanKey plan_key(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+                 const ReplayConfig& cfg);
+
+/// The immutable, shareable build-phase output.
+class ReplayPlan {
+  public:
+    /// Runs the full build phase: copies the trace (the plan is then fully
+    /// self-contained — required for cache retention past the caller's
+    /// trace), selects replay targets, computes coverage, reconstructs every
+    /// selected op and assigns streams from @p prof (which is only read
+    /// during build, never retained).
+    static std::shared_ptr<const ReplayPlan>
+    build(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+          const ReplayConfig& cfg);
+
+    /// Same build phase, but *borrows* @p trace instead of copying it — the
+    /// one-shot path (direct Replayer construction) where the caller's trace
+    /// outlives the plan and a deep copy of a production-sized trace would
+    /// be pure waste.  Never hand a borrowed plan to the PlanCache.
+    /// @param trace  must outlive the returned plan
+    static std::shared_ptr<const ReplayPlan>
+    build_borrowing(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+                    const ReplayConfig& cfg);
+
+    /// The trace the plan was built over (the private copy for build(), the
+    /// caller's for build_borrowing()); ReconstructedOp::node points into it.
+    const et::ExecutionTrace& trace() const { return *trace_; }
+    const Selection& selection() const { return selection_; }
+    const CoverageStats& coverage() const { return coverage_; }
+    const std::vector<ReconstructedOp>& ops() const { return ops_; }
+    /// The identity the plan was built under.  Plans from build() /
+    /// the PlanCache carry the full key; borrowed one-shot plans carry only
+    /// the cheap components (config_fp, has_prof) — the expensive trace and
+    /// supported-set hashes are skipped on the path that never caches.
+    const PlanKey& key() const { return key_; }
+
+    ReplayPlan(const ReplayPlan&) = delete;
+    ReplayPlan& operator=(const ReplayPlan&) = delete;
+
+    /// build() with a key the caller already computed (the PlanCache hashes
+    /// the key for its lookup first; this avoids hashing everything twice).
+    static std::shared_ptr<const ReplayPlan>
+    build_with_key(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
+                   const ReplayConfig& cfg, const PlanKey& key);
+
+  private:
+    ReplayPlan() = default;
+
+    static std::shared_ptr<const ReplayPlan>
+    build_impl(const et::ExecutionTrace* borrowed, const et::ExecutionTrace* copied,
+               const prof::ProfilerTrace* prof, const ReplayConfig& cfg,
+               const PlanKey* precomputed_key);
+
+    et::ExecutionTrace owned_trace_;          ///< populated by build() only
+    const et::ExecutionTrace* trace_ = nullptr; ///< &owned_trace_ or the borrowed trace
+    PlanKey key_;
+    Selection selection_;
+    CoverageStats coverage_;
+    Reconstructor reconstructor_; ///< owns the compiled-IR functions ops_ point at
+    std::vector<ReconstructedOp> ops_;
+};
+
+} // namespace mystique::core

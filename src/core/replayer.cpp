@@ -6,53 +6,31 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "core/plan_cache.h"
 
 namespace mystique::core {
 
 Replayer::Replayer(const et::ExecutionTrace& trace, const prof::ProfilerTrace* original_prof,
                    ReplayConfig cfg)
-    : trace_(trace), original_prof_(original_prof), cfg_(std::move(cfg))
+    : plan_(ReplayPlan::build_borrowing(trace, original_prof, cfg)), cfg_(std::move(cfg))
 {
-    fw::ensure_ops_registered();
-    build_plan();
 }
 
-void
-Replayer::build_plan()
+Replayer::Replayer(std::shared_ptr<const ReplayPlan> plan, ReplayConfig cfg)
+    : plan_(std::move(plan)), cfg_(std::move(cfg))
 {
-    selection_ = select_ops(trace_, cfg_.custom_ops, cfg_.filter);
-    coverage_ = coverage(trace_, selection_, original_prof_);
-
-    // Reconstruct every selected op up-front (§4.3.4: initialization phase).
-    ops_.reserve(selection_.ops.size());
-    for (const auto& sel : selection_.ops) {
-        const et::Node* node = trace_.find(sel.node_id);
-        MYST_CHECK(node != nullptr);
-        ReconstructedOp op = reconstructor_.reconstruct(*node, sel.supported);
-
-        // Stream assignment from the profiler trace (§4.5): an op's kernels
-        // correlate with its own node or its descendants'.
-        if (original_prof_ != nullptr && op.kind != ReconstructedOp::Kind::kSkipped) {
-            auto it = selection_.subtree_ids.find(sel.node_id);
-            if (it != selection_.subtree_ids.end()) {
-                for (int64_t sub_id : it->second) {
-                    auto streams = original_prof_->streams_for_node(sub_id);
-                    if (!streams.empty()) {
-                        op.stream = streams.front();
-                        break;
-                    }
-                }
-            }
-        }
-        ops_.push_back(std::move(op));
-    }
+    MYST_CHECK(plan_ != nullptr);
+    // Executing a plan under a config it was not built for silently replays
+    // the wrong selection/embedding/mode; the key makes the misuse loud.
+    MYST_CHECK_MSG(plan_->key().config_fp == cfg_.fingerprint(),
+                   "ReplayConfig does not match the config the plan was built under");
 }
 
 void
 Replayer::register_process_groups(fw::Session& session,
                                   const std::shared_ptr<comm::CommFabric>& fabric)
 {
-    for (const auto& [pg_id, orig_ranks] : trace_.meta().process_groups) {
+    for (const auto& [pg_id, orig_ranks] : plan_->trace().meta().process_groups) {
         // Map the original group onto the replay world: members beyond the
         // replay world size exist only in the emulated dimension (§7.3).
         std::vector<int> ranks;
@@ -98,21 +76,29 @@ Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>
     // Replay executes recorded backward ops explicitly; no taping.
     session.set_grad_enabled(false);
 
+    const std::vector<ReconstructedOp>& ops = plan_->ops();
+
     TensorManager tm(session, cfg_.embedding);
     std::vector<const et::Node*> selected_nodes;
-    selected_nodes.reserve(ops_.size());
-    for (const auto& op : ops_) {
+    selected_nodes.reserve(ops.size());
+    for (const auto& op : ops) {
         if (op.kind != ReconstructedOp::Kind::kSkipped)
             selected_nodes.push_back(op.node);
     }
     tm.analyze(selected_nodes);
     tm.instantiate_externals();
 
+    // The profiler is a stack local; detach on every exit path (including
+    // exceptions) so a reused session can never hold a dangling pointer.
     prof::ProfilerSession profiler;
     session.attach_profiler(&profiler);
+    struct ProfilerDetach {
+        fw::Session& session;
+        ~ProfilerDetach() { session.attach_profiler(nullptr); }
+    } detach_guard{session};
 
     ReplayResult result;
-    result.coverage = coverage_;
+    result.coverage = plan_->coverage();
 
     const int total_iters = cfg_.warmup_iterations + cfg_.iterations;
     sim::TimeUs timed_start = 0.0;
@@ -126,7 +112,7 @@ Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>
         if (iter == cfg_.warmup_iterations)
             timed_start = iter_start;
 
-        for (const auto& op : ops_) {
+        for (const auto& op : ops) {
             if (op.kind == ReconstructedOp::Kind::kSkipped)
                 continue;
             session.switch_thread(op.node->tid);
@@ -168,6 +154,16 @@ Replayer::run_distributed(const std::vector<const et::ExecutionTrace*>& traces,
     for (int rank = 0; rank < world; ++rank) {
         threads.emplace_back([&, rank] {
             try {
+                // Each rank fetches its plan through the process-wide cache
+                // *inside* its thread: equivalent ranks — all of them, in the
+                // §7.3 scale-down and data-parallel cases — share one plan
+                // built exactly once (the cache's per-key future serializes
+                // same-key builds), while ranks with structurally distinct
+                // traces build their plans in parallel.
+                const std::shared_ptr<const ReplayPlan> plan =
+                    PlanCache::instance().get_or_build(
+                        *traces[static_cast<std::size_t>(rank)],
+                        profs[static_cast<std::size_t>(rank)], cfg);
                 fw::SessionOptions opts;
                 opts.platform = dev::platform(cfg.platform);
                 opts.mode = cfg.mode;
@@ -177,8 +173,7 @@ Replayer::run_distributed(const std::vector<const et::ExecutionTrace*>& traces,
                 opts.power_limit_w = cfg.power_limit_w;
                 opts.dispatch = fw::DispatchProfile::replay();
                 fw::Session session(opts);
-                Replayer replayer(*traces[static_cast<std::size_t>(rank)],
-                                  profs[static_cast<std::size_t>(rank)], cfg);
+                Replayer replayer(plan, cfg);
                 results[static_cast<std::size_t>(rank)] =
                     replayer.run_with(session, fabric);
             } catch (const std::exception& e) {

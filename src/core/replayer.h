@@ -1,9 +1,34 @@
 #pragma once
 
 /// @file
-/// The ET replayer (§4.6): selection → reconstruction → tensor management →
-/// stream assignment → timed execution, plus the use-case knobs of §7
-/// (subtrace replay, operator-type filtering, scaled-down emulation).
+/// The ET replayer (§4.6), split into a build phase and an execution phase.
+///
+/// ## Plan / executor split
+///
+/// Replay used to be monolithic: every Replayer instance re-ran selection,
+/// coverage, reconstruction and stream assignment.  Those stages are now the
+/// immutable, shareable **ReplayPlan** (core/replay_plan.h); the Replayer is
+/// a thin per-rank *executor* that walks a plan's OpId-indexed ops against
+/// its own Session/TensorManager.  One plan can back any number of executors
+/// concurrently — run_distributed hands N rank threads read-only references
+/// to plans built once, instead of rebuilding N identical ones.
+///
+/// ## Cache lifecycle
+///
+/// Plans are cached process-wide in the **PlanCache** (core/plan_cache.h),
+/// keyed by (trace fingerprint, supported-OpId set, ReplayConfig
+/// fingerprint).  The fleet-scale consumers — run_distributed and
+/// ReplayDriver's trace-database sweeps (§8.2) — fetch through the cache, so
+/// a second replay of an *equivalent* trace (same operator mix) skips the
+/// entire build phase.  Direct `Replayer(trace, prof, cfg)` construction
+/// still builds a private, uncached plan: one-shot tools keep their
+/// no-global-state behavior, and nothing is retained past the Replayer.
+/// Cache entries are LRU-evicted; executors keep plans alive via shared_ptr,
+/// so eviction never invalidates a running replay.
+///
+/// The use-case knobs of §7 (subtrace replay, operator-type filtering,
+/// scaled-down emulation) live in ReplayConfig and participate in the cache
+/// key exactly when they shape the plan.
 
 #include <memory>
 #include <optional>
@@ -11,41 +36,13 @@
 #include <vector>
 
 #include "comm/process_group.h"
-#include "core/reconstruction.h"
-#include "core/selection.h"
+#include "core/replay_plan.h"
 #include "core/tensor_manager.h"
 #include "device/device.h"
 #include "et/trace.h"
 #include "profiler/profiler.h"
 
 namespace mystique::core {
-
-/// Replay configuration.
-struct ReplayConfig {
-    std::string platform = "A100";
-    fw::ExecMode mode = fw::ExecMode::kShapeOnly;
-    int warmup_iterations = 1;
-    int iterations = 5;
-    uint64_t seed = 0xB53C;
-    std::optional<double> power_limit_w;
-
-    /// Subtrace / operator-type filters (§7.1).
-    SelectionFilter filter;
-
-    /// Embedding index generation (§4.4's refinement interface).
-    EmbeddingGenConfig embedding;
-
-    /// Replayable custom ops (§4.3.3).
-    CustomOpRegistry custom_ops = CustomOpRegistry::with_defaults();
-
-    /// Scaled-down emulation (§7.3): 0 = off (rendezvous at actual size);
-    /// -1 = emulate the *original* group sizes from the trace metadata;
-    /// >0 = emulate this world size.
-    int emulate_world_size = 0;
-
-    /// Collect a profiler trace of the replay run (needed for similarity).
-    bool collect_profiler = true;
-};
 
 /// Outcome of one (per-rank) replay.
 struct ReplayResult {
@@ -56,49 +53,56 @@ struct ReplayResult {
     CoverageStats coverage;
 };
 
-/// Replays one execution trace as a benchmark.
+/// Per-rank executor over a (possibly shared) ReplayPlan.
 class Replayer {
   public:
-    /// @param trace  the ET to replay (kept by reference; must outlive this)
+    /// Builds a private, uncached plan from @p trace.
+    /// @param trace  the ET to replay (borrowed by the plan; must outlive
+    ///        this Replayer — one-shot callers keep the no-copy cost of the
+    ///        pre-split Replayer)
     /// @param original_prof  profiler trace of the original run — used for
     ///        op→stream mapping (§4.5) and time-coverage; may be null
     Replayer(const et::ExecutionTrace& trace, const prof::ProfilerTrace* original_prof,
              ReplayConfig cfg);
+
+    /// Executes over an existing plan (typically fetched from the PlanCache).
+    /// @p cfg must fingerprint-match the config the plan was built under
+    /// (guaranteed for cache fetches; enforced with a check here).
+    Replayer(std::shared_ptr<const ReplayPlan> plan, ReplayConfig cfg);
 
     /// Runs a single-rank replay with a private session/fabric.
     ReplayResult run();
 
     /// Runs with an externally-provided session and fabric (distributed
     /// ranks share a fabric; each rank owns a Replayer on its thread).
+    /// Leaves the session reusable: the profiler is detached on return.
     ReplayResult run_with(fw::Session& session,
                           const std::shared_ptr<comm::CommFabric>& fabric);
 
-    const Selection& selection() const { return selection_; }
-    const CoverageStats& coverage_stats() const { return coverage_; }
+    const std::shared_ptr<const ReplayPlan>& plan() const { return plan_; }
+    const Selection& selection() const { return plan_->selection(); }
+    const CoverageStats& coverage_stats() const { return plan_->coverage(); }
     /// Generated IR text per replayed ATen node (for codegen/inspection).
-    const std::vector<ReconstructedOp>& reconstructed() const { return ops_; }
+    const std::vector<ReconstructedOp>& reconstructed() const { return plan_->ops(); }
 
     /// Replays N traces on N rank threads sharing one fabric.  Trace count
     /// may be smaller than the original world size when combined with
-    /// emulate_world_size (scale-down, §7.3).
+    /// emulate_world_size (scale-down, §7.3).  Each rank thread fetches its
+    /// plan through the process-wide PlanCache: ranks whose traces are
+    /// structurally identical (the scale-down and data-parallel cases) share
+    /// one plan read-only — built exactly once — while structurally distinct
+    /// ranks build their plans in parallel.
     static std::vector<ReplayResult>
     run_distributed(const std::vector<const et::ExecutionTrace*>& traces,
                     const std::vector<const prof::ProfilerTrace*>& profs, ReplayConfig cfg,
                     comm::Topology topo = {});
 
   private:
-    void build_plan();
     void register_process_groups(fw::Session& session,
                                  const std::shared_ptr<comm::CommFabric>& fabric);
 
-    const et::ExecutionTrace& trace_;
-    const prof::ProfilerTrace* original_prof_;
+    std::shared_ptr<const ReplayPlan> plan_;
     ReplayConfig cfg_;
-
-    Selection selection_;
-    CoverageStats coverage_;
-    Reconstructor reconstructor_;
-    std::vector<ReconstructedOp> ops_;
 };
 
 } // namespace mystique::core

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/string_util.h"
 #include "framework/math.h"
+#include "framework/op_registry.h"
 
 namespace mystique::core {
 
@@ -71,16 +72,21 @@ TensorManager::analyze(const std::vector<const et::Node*>& selected_ops)
             if (it == producer.end())
                 return;
             const et::Node* p = it->second;
+            // Interned-identity comparison: each node's name resolves at most
+            // once (cached in node.op_id); MYST_OP resolves the literal once
+            // per call site.
+            const OpId pid = et::resolve_op_id(*p);
             const bool pass_through =
-                p->name == "aten::to.device" || p->name == "aten::copy_";
+                pid == MYST_OP("aten::to.device") || pid == MYST_OP("aten::copy_");
             if (!pass_through || p->inputs.empty() || p->inputs[0].tensors.empty())
                 return;
             uid = p->inputs[0].tensors[0].tensor_id;
         }
     };
     for (const et::Node* node : selected_ops) {
-        if (node->name == "aten::embedding_bag" ||
-            node->name == "fbgemm::batched_embedding_lookup") {
+        const OpId id = et::resolve_op_id(*node);
+        if (id == MYST_OP("aten::embedding_bag") ||
+            id == MYST_OP("fbgemm::batched_embedding_lookup")) {
             const int64_t rows = weight_rows(*node);
             int64_t nnz = 0;
             if (node->inputs.size() > 1 && !node->inputs[1].tensors.empty())
@@ -89,7 +95,7 @@ TensorManager::analyze(const std::vector<const et::Node*>& selected_ops)
                        {Int64GenPolicy::Kind::kIndices, std::max<int64_t>(rows, 1), 0});
             if (node->inputs.size() > 2)
                 set_policy(node->inputs[2], {Int64GenPolicy::Kind::kOffsets, 0, nnz});
-        } else if (node->name == "aten::nll_loss") {
+        } else if (id == MYST_OP("aten::nll_loss")) {
             int64_t classes = 10;
             if (!node->inputs.empty() && !node->inputs[0].tensors.empty() &&
                 !node->inputs[0].tensors[0].shape.empty())

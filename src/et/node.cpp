@@ -292,4 +292,15 @@ Node::from_json(const Json& j)
     return n;
 }
 
+OpId
+resolve_op_id(const Node& node)
+{
+    OpId id = node.op_id.load();
+    if (id == kInvalidOpId) {
+        id = OpInterner::instance().intern(node.name);
+        node.op_id.store(id);
+    }
+    return id;
+}
+
 } // namespace mystique::et

@@ -113,4 +113,12 @@ struct Node {
     bool is_op() const { return kind == NodeKind::kOperator; }
 };
 
+/// Returns the node's interned OpId, resolving (and caching) it through the
+/// process-wide interner on first use.  Unlike the registry-based resolution
+/// in core/supported_ops, this *interns* unknown names, so it always returns
+/// a valid ID — the right primitive for identity comparisons on analysis
+/// paths (tensor-policy derivation, obfuscation scans) where the op need not
+/// be registered.
+OpId resolve_op_id(const Node& node);
+
 } // namespace mystique::et

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace mystique::et {
@@ -51,6 +52,64 @@ TraceMeta::from_json(const Json& j)
     return m;
 }
 
+namespace {
+
+/// Transfers one (valid, value) fingerprint-cache pair; clears the source's
+/// validity when @p reset_src (moves leave the source without its nodes, so
+/// its cached values would be stale).  Source atomics bind as non-const even
+/// from the copy constructor's const source because the members are mutable.
+void
+transfer_fp_cache(std::atomic<bool>& src_valid, std::atomic<uint64_t>& src_fp,
+                  std::atomic<bool>& dst_valid, std::atomic<uint64_t>& dst_fp,
+                  bool reset_src = false)
+{
+    if (src_valid.load(std::memory_order_acquire)) {
+        dst_fp.store(src_fp.load(std::memory_order_relaxed), std::memory_order_relaxed);
+        dst_valid.store(true, std::memory_order_release);
+    } else {
+        dst_valid.store(false, std::memory_order_release);
+    }
+    if (reset_src)
+        src_valid.store(false, std::memory_order_release);
+}
+
+} // namespace
+
+ExecutionTrace::ExecutionTrace(const ExecutionTrace& other)
+    : meta_(other.meta_), nodes_(other.nodes_), index_(other.index_)
+{
+    transfer_fp_cache(other.fp_valid_, other.fp_, fp_valid_, fp_);
+    transfer_fp_cache(other.sfp_valid_, other.sfp_, sfp_valid_, sfp_);
+}
+
+ExecutionTrace::ExecutionTrace(ExecutionTrace&& other) noexcept
+    : meta_(std::move(other.meta_)), nodes_(std::move(other.nodes_)),
+      index_(std::move(other.index_))
+{
+    transfer_fp_cache(other.fp_valid_, other.fp_, fp_valid_, fp_, /*reset_src=*/true);
+    transfer_fp_cache(other.sfp_valid_, other.sfp_, sfp_valid_, sfp_, /*reset_src=*/true);
+}
+
+ExecutionTrace&
+ExecutionTrace::operator=(const ExecutionTrace& other)
+{
+    if (this == &other)
+        return *this;
+    *this = ExecutionTrace(other);
+    return *this;
+}
+
+ExecutionTrace&
+ExecutionTrace::operator=(ExecutionTrace&& other) noexcept
+{
+    meta_ = std::move(other.meta_);
+    nodes_ = std::move(other.nodes_);
+    index_ = std::move(other.index_);
+    transfer_fp_cache(other.fp_valid_, other.fp_, fp_valid_, fp_, /*reset_src=*/true);
+    transfer_fp_cache(other.sfp_valid_, other.sfp_, sfp_valid_, sfp_, /*reset_src=*/true);
+    return *this;
+}
+
 void
 ExecutionTrace::add_node(Node node)
 {
@@ -59,6 +118,8 @@ ExecutionTrace::add_node(Node node)
                        "node IDs must increase: " << node.id << " after " << nodes_.back().id);
     index_[node.id] = nodes_.size();
     nodes_.push_back(std::move(node));
+    fp_valid_.store(false, std::memory_order_release);
+    sfp_valid_.store(false, std::memory_order_release);
 }
 
 const Node*
@@ -138,6 +199,9 @@ ExecutionTrace::load(const std::string& path)
 uint64_t
 ExecutionTrace::fingerprint() const
 {
+    if (fp_valid_.load(std::memory_order_acquire))
+        return fp_.load(std::memory_order_relaxed);
+
     // Order-independent histogram hash over (op name, count).
     std::unordered_map<std::string, int64_t> hist;
     for (const auto& n : nodes_) {
@@ -146,18 +210,122 @@ ExecutionTrace::fingerprint() const
     }
     std::vector<std::pair<std::string, int64_t>> sorted(hist.begin(), hist.end());
     std::sort(sorted.begin(), sorted.end());
-    uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
-    auto mix = [&h](const char* data, std::size_t len) {
-        for (std::size_t i = 0; i < len; ++i) {
-            h ^= static_cast<unsigned char>(data[i]);
-            h *= 0x100000001b3ull;
-        }
-    };
+    Fnv1a h;
     for (const auto& [name, count] : sorted) {
-        mix(name.data(), name.size());
-        mix(reinterpret_cast<const char*>(&count), sizeof(count));
+        h.mix_bytes(name.data(), name.size());
+        h.mix_pod(count);
     }
-    return h;
+    fp_.store(h.value(), std::memory_order_relaxed);
+    fp_valid_.store(true, std::memory_order_release);
+    return h.value();
+}
+
+namespace {
+
+/// True for device-designator strings ("cuda:1", "cpu", ...).  Device
+/// placement is *rank identity*, not plan structure: symmetric SPMD ranks
+/// record "cuda:0" vs "cuda:1" for otherwise identical traces, and replay
+/// always runs on the executing session's own simulated device (the string
+/// is carried cosmetically).  The structural hash canonicalizes them so
+/// equivalent ranks can share one plan.
+bool
+is_device_string(const std::string& s)
+{
+    static const char* kPrefixes[] = {"cuda", "cpu", "hip", "xpu"};
+    for (const char* p : kPrefixes) {
+        const std::size_t n = std::string_view(p).size();
+        if (s.compare(0, n, p) != 0)
+            continue;
+        if (s.size() == n)
+            return true;
+        if (s[n] != ':')
+            continue;
+        bool digits = s.size() > n + 1;
+        for (std::size_t i = n + 1; i < s.size(); ++i)
+            digits = digits && s[i] >= '0' && s[i] <= '9';
+        if (digits)
+            return true;
+    }
+    return false;
+}
+
+/// Hashes the fields the plan builder and executor consume: tensor_id (the
+/// TensorManager's binding key), shape, numel, itemsize and dtype.
+/// storage_id/offset are allocator artifacts and device is rank identity —
+/// all unread by replay — so they are excluded to keep symmetric ranks'
+/// traces structurally equal.
+void
+mix_tensor_meta(Fnv1a& h, const TensorMeta& t)
+{
+    h.mix_pod(t.tensor_id);
+    h.mix_pod(t.numel);
+    h.mix_pod(t.itemsize);
+    for (int64_t d : t.shape)
+        h.mix_pod(d);
+    h.mix_pod(t.shape.size());
+    h.mix(t.dtype);
+}
+
+void
+mix_argument(Fnv1a& h, const Argument& a)
+{
+    h.mix_pod(a.kind);
+    h.mix_pod(a.int_value);
+    h.mix_pod(a.double_value);
+    h.mix_pod(a.bool_value);
+    h.mix(is_device_string(a.string_value) ? std::string("<device>") : a.string_value);
+    for (int64_t v : a.int_list)
+        h.mix_pod(v);
+    h.mix_pod(a.int_list.size());
+    for (const auto& t : a.tensors)
+        mix_tensor_meta(h, t);
+    h.mix_pod(a.tensors.size());
+}
+
+} // namespace
+
+uint64_t
+ExecutionTrace::structural_fingerprint() const
+{
+    if (sfp_valid_.load(std::memory_order_acquire))
+        return sfp_.load(std::memory_order_relaxed);
+
+    Fnv1a h;
+    // Replay-relevant metadata: world size and group membership shape the
+    // executor's process-group mapping; rank identity deliberately excluded.
+    h.mix_pod(meta_.world_size);
+    for (const auto& [pg_id, ranks] : meta_.process_groups) {
+        h.mix_pod(pg_id);
+        for (int r : ranks)
+            h.mix_pod(r);
+        h.mix_pod(ranks.size());
+    }
+    h.mix_pod(meta_.process_groups.size());
+
+    // Full node structure in execution order — everything the plan builder
+    // reads: identity, hierarchy, schema, arguments (shapes, dtypes, values,
+    // recorded tensor IDs), thread and process-group assignment.
+    for (const Node& n : nodes_) {
+        h.mix_pod(n.id);
+        h.mix(n.name);
+        h.mix_pod(n.parent);
+        h.mix_pod(n.kind);
+        h.mix_pod(n.category);
+        h.mix(n.op_schema);
+        h.mix_pod(n.tid);
+        h.mix_pod(n.pg_id);
+        for (const auto& a : n.inputs)
+            mix_argument(h, a);
+        h.mix_pod(n.inputs.size());
+        for (const auto& a : n.outputs)
+            mix_argument(h, a);
+        h.mix_pod(n.outputs.size());
+    }
+    h.mix_pod(nodes_.size());
+
+    sfp_.store(h.value(), std::memory_order_relaxed);
+    sfp_valid_.store(true, std::memory_order_release);
+    return h.value();
 }
 
 void

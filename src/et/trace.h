@@ -3,6 +3,7 @@
 /// @file
 /// The execution trace container and the observer that records it.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -36,6 +37,10 @@ struct TraceMeta {
 class ExecutionTrace {
   public:
     ExecutionTrace() = default;
+    ExecutionTrace(const ExecutionTrace& other);
+    ExecutionTrace(ExecutionTrace&& other) noexcept;
+    ExecutionTrace& operator=(const ExecutionTrace& other);
+    ExecutionTrace& operator=(ExecutionTrace&& other) noexcept;
 
     TraceMeta& meta() { return meta_; }
     const TraceMeta& meta() const { return meta_; }
@@ -68,12 +73,36 @@ class ExecutionTrace {
 
     /// Stable fingerprint of the operator mix (name → count histogram hash);
     /// used by the trace-database analyzer to group equivalent traces (§8.2).
+    /// Deliberately coarse: it ignores shapes and ordering, because the
+    /// paper's grouping policy replays one representative per operator-mix
+    /// group regardless of member-to-member shape drift.
+    /// Computed lazily and cached — repeated calls are O(1).  The cache
+    /// follows the OpIdCache idempotent-atomic pattern, so concurrent
+    /// first-calls on a shared const trace are race-free.
     uint64_t fingerprint() const;
+
+    /// Stable *structural* fingerprint: node order, names, schemas, argument
+    /// values, tensor shapes/dtypes/IDs, thread and process-group
+    /// assignments, plus the replay-relevant metadata (world size, process
+    /// groups).  Two traces with equal structural fingerprints compile to
+    /// interchangeable replay plans, so this — not the coarse operator-mix
+    /// hash — is the plan cache's trace key.  Rank-identity artifacts are
+    /// excluded — meta().rank, device strings ("cuda:0" vs "cuda:1"),
+    /// storage-id/offset allocator state — because symmetric SPMD ranks
+    /// differ only in those and must share a plan; everything the plan
+    /// builder or executor actually reads is hashed.  Lazily computed and
+    /// cached like fingerprint().
+    uint64_t structural_fingerprint() const;
 
   private:
     TraceMeta meta_;
     std::vector<Node> nodes_;
     std::unordered_map<int64_t, std::size_t> index_; // id → position
+
+    mutable std::atomic<bool> fp_valid_{false};
+    mutable std::atomic<uint64_t> fp_{0};
+    mutable std::atomic<bool> sfp_valid_{false};
+    mutable std::atomic<uint64_t> sfp_{0};
 };
 
 /// Records execution into an ExecutionTrace.

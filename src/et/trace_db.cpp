@@ -81,7 +81,7 @@ TraceDatabase::select_top(std::size_t top_k) const
     for (const auto& g : analyze()) {
         if (out.size() >= top_k)
             break;
-        out.push_back(g.members.front());
+        out.push_back(g.representative());
     }
     return out;
 }

@@ -18,6 +18,10 @@
 namespace mystique::et {
 
 /// A group of traces that share an operator-mix fingerprint.
+///
+/// Batched replay of a whole database — one cached plan per group, replayed
+/// representatives weighted by population — lives above this layer in
+/// core::ReplayDriver::replay_groups (core/replay_driver.h).
 struct TraceGroup {
     uint64_t fingerprint = 0;
     std::string representative_workload;
@@ -25,6 +29,10 @@ struct TraceGroup {
     std::vector<std::size_t> members;
     /// Fraction of the database population this group represents.
     double population_weight = 0.0;
+
+    /// The replay sample for this group — the paper's "select the most
+    /// commonly-occurring" policy picks one representative per group.
+    std::size_t representative() const { return members.front(); }
 };
 
 /// An in-memory collection of execution traces with selection support.

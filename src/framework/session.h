@@ -187,6 +187,10 @@ class Session {
     bool has_process_group(int64_t pg_id) const;
     /// All registered groups: ET pg id → member ranks (stored in TraceMeta).
     std::map<int64_t, std::vector<int>> process_group_defs() const;
+    /// Drops every registered group — called between replays when one session
+    /// is reused across plans (ReplayDriver's database sweeps), so a previous
+    /// trace's groups cannot leak into the next trace's pg-id space.
+    void clear_process_groups();
 
     // ------------------------------------------------------------ observers
 

@@ -3,6 +3,8 @@
 /// @file
 /// Profiler trace container, session, and timeline analysis.
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -25,8 +27,18 @@ struct CategoryBreakdown {
 /// A complete per-process profiler trace.
 class ProfilerTrace {
   public:
+    ProfilerTrace() = default;
+    ProfilerTrace(const ProfilerTrace& other);
+    ProfilerTrace(ProfilerTrace&& other) noexcept;
+    ProfilerTrace& operator=(const ProfilerTrace& other);
+    ProfilerTrace& operator=(ProfilerTrace&& other) noexcept;
+
     void add_cpu_op(CpuOpEvent ev) { cpu_ops_.push_back(std::move(ev)); }
-    void add_kernel(KernelEvent ev) { kernels_.push_back(std::move(ev)); }
+    void add_kernel(KernelEvent ev)
+    {
+        kernels_.push_back(std::move(ev));
+        rfp_valid_.store(false, std::memory_order_release);
+    }
 
     const std::vector<CpuOpEvent>& cpu_ops() const { return cpu_ops_; }
     const std::vector<KernelEvent>& kernels() const { return kernels_; }
@@ -60,9 +72,25 @@ class ProfilerTrace {
     Json to_json() const;
     static ProfilerTrace from_json(const Json& j);
 
+    /// Stable hash over the kernel fields that determine replay *behavior*:
+    /// the per-kernel (correlation, stream) pairs in launch order — the
+    /// op→stream mapping of §4.5.  Two profiler traces with equal replay
+    /// fingerprints produce plans with identical stream assignments, so this
+    /// is the PlanCache's prof key component.  Timestamps and durations are
+    /// deliberately excluded: they carry per-rank simulation jitter that
+    /// never matches across equivalent runs, and they only feed the plan's
+    /// *coverage statistics*, which are representative-level by the §8.2
+    /// grouping semantics anyway.  Lazily computed and cached (OpIdCache
+    /// idempotent-atomic pattern), invalidated by add_kernel; cpu-op events
+    /// are not hashed because plan building never reads them.
+    uint64_t replay_fingerprint() const;
+
   private:
     std::vector<CpuOpEvent> cpu_ops_;
     std::vector<KernelEvent> kernels_;
+
+    mutable std::atomic<bool> rfp_valid_{false};
+    mutable std::atomic<uint64_t> rfp_{0};
 };
 
 /// Active recording handle attached to a Session (torch.profiler.profile).

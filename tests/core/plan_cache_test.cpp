@@ -1,0 +1,383 @@
+/// PlanCache / ReplayPlan / ReplayDriver tests: config-fingerprint stability,
+/// hit/miss accounting, eviction, cross-config collision safety, concurrent
+/// lookup, plan sharing across distributed ranks, and the batched
+/// trace-database sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "core/replay_driver.h"
+#include "core/replayer.h"
+#include "workloads/harness.h"
+
+namespace mystique::core {
+namespace {
+
+wl::RunConfig
+tiny_cfg()
+{
+    wl::RunConfig cfg;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 2;
+    cfg.seed = 7;
+    return cfg;
+}
+
+wl::WorkloadOptions
+tiny_opts()
+{
+    wl::WorkloadOptions o;
+    o.preset = wl::Preset::kTiny;
+    return o;
+}
+
+ReplayConfig
+tiny_replay()
+{
+    ReplayConfig cfg;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 2;
+    return cfg;
+}
+
+/// One traced tiny run per workload, shared across the suite (tracing is the
+/// expensive part of these tests).
+const wl::RunResult&
+traced(const std::string& workload)
+{
+    static std::map<std::string, wl::RunResult> cache;
+    auto it = cache.find(workload);
+    if (it == cache.end())
+        it = cache.emplace(workload, wl::run_original(workload, tiny_opts(), tiny_cfg()))
+                 .first;
+    return it->second;
+}
+
+TEST(ReplayConfigFingerprint, HarnessKnobsDoNotChangeKey)
+{
+    const ReplayConfig base = tiny_replay();
+    const uint64_t fp = base.fingerprint();
+
+    ReplayConfig c = base;
+    c.iterations = 99;
+    EXPECT_EQ(c.fingerprint(), fp);
+    c = base;
+    c.warmup_iterations = 7;
+    EXPECT_EQ(c.fingerprint(), fp);
+    c = base;
+    c.seed = 0xDEAD;
+    EXPECT_EQ(c.fingerprint(), fp);
+    c = base;
+    c.collect_profiler = false;
+    EXPECT_EQ(c.fingerprint(), fp);
+    c = base;
+    c.power_limit_w = 250.0;
+    EXPECT_EQ(c.fingerprint(), fp);
+}
+
+TEST(ReplayConfigFingerprint, PlanShapingFieldsChangeKey)
+{
+    const ReplayConfig base = tiny_replay();
+    const uint64_t fp = base.fingerprint();
+
+    ReplayConfig c = base;
+    c.platform = "V100";
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.mode = fw::ExecMode::kNumeric;
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.filter.subtrace_root = "## forward:z ##";
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.filter.only_category = dev::OpCategory::kComm;
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.embedding.distribution = EmbeddingGenConfig::Distribution::kUniform;
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.embedding.zipf_s = 1.3;
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.custom_ops.register_namespace("fairseq::");
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.custom_ops = CustomOpRegistry::empty();
+    EXPECT_NE(c.fingerprint(), fp);
+    c = base;
+    c.emulate_world_size = 64;
+    EXPECT_NE(c.fingerprint(), fp);
+}
+
+TEST(ReplayConfigFingerprint, CustomOpOrderDoesNotChangeKey)
+{
+    ReplayConfig a = tiny_replay();
+    a.custom_ops = CustomOpRegistry::empty();
+    a.custom_ops.register_op("x::one");
+    a.custom_ops.register_op("y::two");
+    ReplayConfig b = tiny_replay();
+    b.custom_ops = CustomOpRegistry::empty();
+    b.custom_ops.register_op("y::two");
+    b.custom_ops.register_op("x::one");
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(PlanCache, HitMissAccountingAndPlanIdentity)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    PlanCache cache(8);
+    const ReplayConfig cfg = tiny_replay();
+
+    auto first = cache.get_or_build(r0.trace, &r0.prof, cfg);
+    ASSERT_NE(first, nullptr);
+    auto second = cache.get_or_build(r0.trace, &r0.prof, cfg);
+    EXPECT_EQ(first.get(), second.get()); // same shared plan, not a rebuild
+
+    const PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.size, 1u);
+}
+
+TEST(PlanCache, EquivalentTraceDifferentObjectHits)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    PlanCache cache(8);
+    const ReplayConfig cfg = tiny_replay();
+
+    auto first = cache.get_or_build(r0.trace, &r0.prof, cfg);
+    const et::ExecutionTrace copy = r0.trace; // equal fingerprint, distinct object
+    ASSERT_EQ(copy.fingerprint(), r0.trace.fingerprint());
+    auto second = cache.get_or_build(copy, &r0.prof, cfg);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PlanCache, SameOpMixDifferentShapesGetDistinctEntries)
+{
+    const auto& r0 = traced("param_linear").rank0();
+
+    // Rebuild the trace with one tensor shape perturbed: the operator-mix
+    // fingerprint (names only) is unchanged, but the structural fingerprint
+    // — and therefore the plan — must differ.
+    et::ExecutionTrace reshaped;
+    reshaped.meta() = r0.trace.meta();
+    bool perturbed = false;
+    for (const auto& n : r0.trace.nodes()) {
+        et::Node copy = n;
+        if (!perturbed && copy.is_op() && !copy.inputs.empty() &&
+            !copy.inputs[0].tensors.empty() && !copy.inputs[0].tensors[0].shape.empty()) {
+            copy.inputs[0].tensors[0].shape[0] += 1;
+            perturbed = true;
+        }
+        reshaped.add_node(std::move(copy));
+    }
+    ASSERT_TRUE(perturbed);
+    ASSERT_EQ(reshaped.fingerprint(), r0.trace.fingerprint());
+    ASSERT_NE(reshaped.structural_fingerprint(), r0.trace.structural_fingerprint());
+
+    PlanCache cache(8);
+    const ReplayConfig cfg = tiny_replay();
+    auto plan_a = cache.get_or_build(r0.trace, &r0.prof, cfg);
+    auto plan_b = cache.get_or_build(reshaped, &r0.prof, cfg);
+    EXPECT_NE(plan_a.get(), plan_b.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PlanCache, EqualFingerprintDifferentConfigsGetDistinctEntries)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    PlanCache cache(8);
+
+    ReplayConfig a = tiny_replay();
+    ReplayConfig b = tiny_replay();
+    b.platform = "V100";
+    const et::ExecutionTrace copy = r0.trace; // same trace fingerprint as r0.trace
+    auto plan_a = cache.get_or_build(r0.trace, &r0.prof, a);
+    auto plan_b = cache.get_or_build(copy, &r0.prof, b);
+    EXPECT_NE(plan_a.get(), plan_b.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().size, 2u);
+
+    // Profiler presence is part of the key: a plan without stream
+    // assignments must not shadow one with them.
+    auto plan_noprof = cache.get_or_build(r0.trace, nullptr, a);
+    EXPECT_NE(plan_noprof.get(), plan_a.get());
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(PlanCache, DifferentProfilerContentGetsDistinctEntries)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    PlanCache cache(8);
+    const ReplayConfig cfg = tiny_replay();
+    auto plan_a = cache.get_or_build(r0.trace, &r0.prof, cfg);
+
+    // Same trace, but the profiler ran the ops on different streams: stream
+    // assignments come from prof *content*, so the plans must be distinct.
+    prof::ProfilerTrace altered = r0.prof;
+    prof::KernelEvent ev;
+    ev.name = "synthetic_kernel";
+    ev.stream = 99;
+    ev.ts = 0.0;
+    ev.dur = 1.0;
+    ev.correlation = r0.trace.nodes().front().id;
+    altered.add_kernel(ev);
+    ASSERT_NE(altered.replay_fingerprint(), r0.prof.replay_fingerprint());
+
+    auto plan_b = cache.get_or_build(r0.trace, &altered, cfg);
+    EXPECT_NE(plan_a.get(), plan_b.get());
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedBeyondCapacity)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    PlanCache cache(2);
+
+    ReplayConfig a = tiny_replay();
+    ReplayConfig b = tiny_replay();
+    b.platform = "V100";
+    ReplayConfig c = tiny_replay();
+    c.platform = "CPU";
+
+    cache.get_or_build(r0.trace, &r0.prof, a);
+    cache.get_or_build(r0.trace, &r0.prof, b);
+    cache.get_or_build(r0.trace, &r0.prof, a); // refresh a; b is now LRU
+    cache.get_or_build(r0.trace, &r0.prof, c); // evicts b
+
+    PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_LE(s.size, 2u);
+
+    // a survived (hit); b was evicted (miss → rebuild).
+    cache.get_or_build(r0.trace, &r0.prof, a);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    cache.get_or_build(r0.trace, &r0.prof, b);
+    EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(PlanCache, ConcurrentLookupBuildsExactlyOnce)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    PlanCache cache(8);
+    const ReplayConfig cfg = tiny_replay();
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const ReplayPlan>> plans(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back(
+            [&, i] { plans[i] = cache.get_or_build(r0.trace, &r0.prof, cfg); });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    for (int i = 0; i < kThreads; ++i) {
+        ASSERT_NE(plans[i], nullptr);
+        EXPECT_EQ(plans[i].get(), plans[0].get());
+    }
+    const PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u); // exactly one build
+    EXPECT_EQ(s.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(PlanCache, SharedPlanReplaysIdenticallyToPrivatePlan)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+
+    Replayer direct(r0.trace, &r0.prof, cfg);
+    const ReplayResult a = direct.run();
+
+    PlanCache cache(4);
+    Replayer cached(cache.get_or_build(r0.trace, &r0.prof, cfg), cfg);
+    const ReplayResult b = cached.run();
+
+    // The virtual-time simulation is deterministic under equal seeds, so a
+    // cache-served plan must reproduce the private plan bit-for-bit.
+    EXPECT_DOUBLE_EQ(a.mean_iter_us, b.mean_iter_us);
+    EXPECT_EQ(a.coverage.selected_ops, b.coverage.selected_ops);
+    EXPECT_EQ(a.prof.kernels().size(), b.prof.kernels().size());
+}
+
+TEST(RunDistributed, EquivalentRanksShareOnePlan)
+{
+    wl::RunConfig cfg = tiny_cfg();
+    cfg.world_size = 2;
+    const wl::RunResult orig = wl::run_original("param_linear", tiny_opts(), cfg);
+    std::vector<const et::ExecutionTrace*> traces;
+    std::vector<const prof::ProfilerTrace*> profs;
+    for (const auto& r : orig.ranks) {
+        traces.push_back(&r.trace);
+        profs.push_back(&r.prof);
+    }
+    // Symmetric data-parallel ranks record structurally identical traces
+    // (rank identity is excluded from the structural hash) — the sharing
+    // precondition.
+    ASSERT_EQ(traces[0]->fingerprint(), traces[1]->fingerprint());
+    ASSERT_EQ(traces[0]->structural_fingerprint(), traces[1]->structural_fingerprint());
+
+    PlanCache& cache = PlanCache::instance();
+    cache.clear();
+    const auto reps = Replayer::run_distributed(traces, profs, tiny_replay());
+    ASSERT_EQ(reps.size(), 2u);
+    const PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.misses, 1u); // rank 1 consumed rank 0's plan
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_GT(reps[0].mean_iter_us, 0.0);
+    EXPECT_NEAR(reps[0].mean_iter_us, reps[1].mean_iter_us,
+                reps[0].mean_iter_us * 0.05);
+}
+
+TEST(ReplayDriver, SweepsDatabaseWithWeightedGroups)
+{
+    const auto& pl = traced("param_linear").rank0();
+    const auto& rm = traced("rm").rank0();
+
+    et::TraceDatabase db;
+    db.add(pl.trace);
+    db.add(pl.trace);
+    db.add(pl.trace);
+    db.add(rm.trace);
+    std::vector<const prof::ProfilerTrace*> profs{&pl.prof, &pl.prof, &pl.prof,
+                                                  &rm.prof};
+
+    PlanCache cache(8);
+    ReplayDriver driver(tiny_replay(), &cache);
+    const DatabaseReplayResult sweep = driver.replay_groups(db, SIZE_MAX, &profs);
+
+    ASSERT_EQ(sweep.groups.size(), 2u);
+    // Groups come back weight-descending: param_linear (3/4), rm (1/4).
+    EXPECT_DOUBLE_EQ(sweep.groups[0].group.population_weight, 0.75);
+    EXPECT_DOUBLE_EQ(sweep.groups[1].group.population_weight, 0.25);
+    EXPECT_DOUBLE_EQ(sweep.population_covered, 1.0);
+
+    const double expect_weighted = 0.75 * sweep.groups[0].result.mean_iter_us +
+                                   0.25 * sweep.groups[1].result.mean_iter_us;
+    EXPECT_DOUBLE_EQ(sweep.weighted_mean_iter_us, expect_weighted);
+    EXPECT_EQ(sweep.cache.misses, 2u); // one plan per group, members shared
+
+    // A second sweep of the same database is served entirely from cache.
+    const DatabaseReplayResult again = driver.replay_groups(db, SIZE_MAX, &profs);
+    EXPECT_EQ(again.cache.misses, 2u);
+    EXPECT_EQ(again.cache.hits, 2u);
+    EXPECT_DOUBLE_EQ(again.weighted_mean_iter_us, sweep.weighted_mean_iter_us);
+
+    // top_k truncation replays only the most-populous group.
+    const DatabaseReplayResult top1 = driver.replay_groups(db, 1, &profs);
+    ASSERT_EQ(top1.groups.size(), 1u);
+    EXPECT_DOUBLE_EQ(top1.population_covered, 0.75);
+    EXPECT_DOUBLE_EQ(top1.weighted_mean_iter_us, top1.groups[0].result.mean_iter_us);
+}
+
+} // namespace
+} // namespace mystique::core
