@@ -8,6 +8,7 @@
 /// replays the collected traces through Mystique, and prints the same rows
 /// or series the paper reports.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,6 +19,16 @@
 #include "workloads/harness.h"
 
 namespace mystique::bench {
+
+/// Wall-clock microseconds since the steady-clock epoch (bench timing).
+inline double
+now_us()
+{
+    return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count()) /
+           1e3;
+}
 
 /// Display names matching the paper's tables.
 inline const char*

@@ -1,0 +1,243 @@
+/// @file
+/// Micro-benchmark and regression gate for the parallel-sweep + storage-arena
+/// subsystem.  Two measurements, printed human-readably plus one JSON summary
+/// line (`micro_arena_json: {...}`) that scripts/ci.sh surfaces:
+///
+///   1. alloc churn — a replay-iteration-shaped allocation pattern (a mix of
+///      activation/gradient-sized buffers created and dropped per iteration)
+///      through arena-backed Storage vs. plain heap-backed Storage.  The
+///      arena-warm iteration must beat the heap iteration by a floor: this is
+///      the malloc+memset traffic that iteration 2..N of every replay no
+///      longer pays.
+///
+///   2. parallel sweep — ReplayDriver::replay_groups over a ≥8-group
+///      database at parallelism 1 vs 4 (both plan-cache warm, so execution —
+///      not plan builds — is what's timed).  Results must be bit-identical;
+///      wall-clock must improve when the host actually has cores to scale
+///      onto (on a single-core host the gate degrades to parity-with-slack,
+///      since K threads on one core cannot beat one thread doing the same
+///      work).
+///
+/// Exits nonzero when either gate fails.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "core/plan_cache.h"
+#include "core/replay_driver.h"
+#include "et/trace_db.h"
+#include "framework/storage_arena.h"
+#include "framework/tensor.h"
+
+namespace {
+
+using namespace mystique;
+
+using bench::now_us;
+
+/// One replay-iteration-shaped churn: create + touch + drop a buffer mix.
+void
+churn_iteration(const std::shared_ptr<fw::StorageArena>& arena)
+{
+    // Activation / gradient / index-tensor sizes from the tiny-preset
+    // workloads (bytes); what one replayed iteration allocates and frees.
+    static const int64_t kSizes[] = {512 * 1024, 256 * 1024, 128 * 1024, 64 * 1024,
+                                     64 * 1024,  16 * 1024,  16 * 1024,  4 * 1024,
+                                     4 * 1024,   1024};
+    for (const int64_t bytes : kSizes) {
+        fw::Storage s(bytes, /*materialize_now=*/true, arena);
+        // Touch like a kernel writing its output row 0.
+        s.data()[0] = std::byte{1};
+        s.data()[static_cast<std::size_t>(bytes - 1)] = std::byte{2};
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::print_header("micro_arena: storage recycling & parallel sweeps");
+
+    // ---- 1. arena-warm vs heap alloc churn --------------------------------
+    constexpr int kChurnIters = 400;
+    constexpr double kArenaFloor = 2.0; // arena-warm must be >= 2x cheaper
+
+    auto arena = std::make_shared<fw::StorageArena>();
+    churn_iteration(arena); // warm the buckets (iteration 1 pays the misses)
+
+    double heap_us = 1e300, arena_us = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+        const double h0 = now_us();
+        for (int i = 0; i < kChurnIters; ++i)
+            churn_iteration(nullptr); // heap path: malloc + zero-fill each time
+        const double h = (now_us() - h0) / kChurnIters;
+        if (h < heap_us)
+            heap_us = h;
+
+        const double a0 = now_us();
+        for (int i = 0; i < kChurnIters; ++i)
+            churn_iteration(arena); // arena path: every acquire is a bucket hit
+        const double a = (now_us() - a0) / kChurnIters;
+        if (a < arena_us)
+            arena_us = a;
+    }
+    const fw::StorageArenaStats astats = arena->stats();
+    const double churn_speedup = arena_us > 0.0 ? heap_us / arena_us : 1e9;
+
+    std::printf("  %-38s %10.2f us/iter\n", "alloc churn, heap-backed", heap_us);
+    std::printf("  %-38s %10.2f us/iter   (%.1fx faster)\n", "alloc churn, arena-warm",
+                arena_us, churn_speedup);
+    std::printf("  arena: hits=%llu misses=%llu cached=%lld B outstanding=%lld B\n",
+                static_cast<unsigned long long>(astats.hits),
+                static_cast<unsigned long long>(astats.misses),
+                static_cast<long long>(astats.bytes_cached),
+                static_cast<long long>(astats.bytes_outstanding));
+
+    // ---- 2. parallel database sweep ---------------------------------------
+    // 4 workloads x 2 presets = 8 distinct operator mixes = 8 groups.
+    wl::RunConfig run_cfg;
+    run_cfg.mode = fw::ExecMode::kShapeOnly;
+    run_cfg.warmup_iterations = 1;
+    run_cfg.iterations = 2;
+    const char* names[] = {"param_linear", "rm", "asr", "resnet"};
+    std::vector<wl::RunResult> runs;
+    runs.reserve(9);
+    et::TraceDatabase db;
+    for (const char* name : names) {
+        for (const wl::Preset preset : {wl::Preset::kTiny, wl::Preset::kPaper}) {
+            wl::WorkloadOptions opts;
+            opts.preset = preset;
+            runs.push_back(wl::run_original(name, opts, run_cfg));
+            db.add(runs.back().rank0().trace);
+        }
+    }
+    // resnet tiny/paper share an op mix (only shapes differ), so add a
+    // distributed rm trace — its comm ops make an eighth distinct group.
+    {
+        wl::RunConfig dist_cfg = run_cfg;
+        dist_cfg.world_size = 2;
+        wl::WorkloadOptions opts;
+        opts.preset = wl::Preset::kTiny;
+        runs.push_back(wl::run_original("rm", opts, dist_cfg));
+        db.add(runs.back().rank0().trace);
+    }
+    const std::size_t n_groups = db.analyze().size();
+
+    core::ReplayConfig cfg = bench::bench_replay_config();
+    cfg.iterations = 4;
+
+    core::PlanCache cache_seq(16), cache_par(16);
+    core::ReplayDriver seq(cfg, &cache_seq, 1);
+    core::ReplayDriver par(cfg, &cache_par, 4);
+
+    // Warm both plan caches (and both drivers' sessions/arenas), then time
+    // the steady-state sweep: execution, not plan builds.
+    (void)seq.replay_groups(db);
+    (void)par.replay_groups(db);
+
+    const double s0 = now_us();
+    const core::DatabaseReplayResult r_seq = seq.replay_groups(db);
+    const double seq_us = now_us() - s0;
+    const double p0 = now_us();
+    const core::DatabaseReplayResult r_par = par.replay_groups(db);
+    const double par_us = now_us() - p0;
+
+    const double sweep_speedup = par_us > 0.0 ? seq_us / par_us : 1e9;
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+    std::printf("  %-38s %10.1f us   (%zu groups)\n", "database sweep, parallelism=1",
+                seq_us, r_seq.groups.size());
+    std::printf("  %-38s %10.1f us   (%.2fx, %u core%s)\n",
+                "database sweep, parallelism=4", par_us, sweep_speedup, cores,
+                cores == 1 ? "" : "s");
+    std::printf("  weighted mean iter: %.2f us (seq) vs %.2f us (par)\n",
+                r_seq.weighted_mean_iter_us, r_par.weighted_mean_iter_us);
+
+    Json j = Json::object();
+    j.set("churn_heap_us", Json(heap_us));
+    j.set("churn_arena_us", Json(arena_us));
+    j.set("churn_speedup", Json(churn_speedup));
+    j.set("sweep_seq_us", Json(seq_us));
+    j.set("sweep_par_us", Json(par_us));
+    j.set("sweep_speedup", Json(sweep_speedup));
+    j.set("groups", Json(static_cast<int64_t>(r_seq.groups.size())));
+    j.set("cores", Json(static_cast<int64_t>(cores)));
+    j.set("arena_hits", Json(static_cast<int64_t>(r_par.arena.hits)));
+    std::printf("micro_arena_json: %s\n", j.dump().c_str());
+
+    // ---- gates ------------------------------------------------------------
+    // MYST_ARENA_POISON=1 memsets every recycled block (read-before-write
+    // sentinel), which erases the recycling advantage by design — keep the
+    // correctness gates but skip the churn perf floor under poison.
+    const char* poison_env = std::getenv("MYST_ARENA_POISON");
+    const bool poisoned = poison_env != nullptr && poison_env[0] == '1';
+    bool ok = true;
+    if (poisoned) {
+        std::printf("  (MYST_ARENA_POISON=1: churn perf floor skipped)\n");
+    } else if (churn_speedup < kArenaFloor) {
+        std::printf("FAIL: arena-warm churn (%.2f us) not >=%.1fx cheaper than heap "
+                    "(%.2f us)\n",
+                    arena_us, kArenaFloor, heap_us);
+        ok = false;
+    }
+    if (astats.misses > 16 || astats.hits < static_cast<uint64_t>(kChurnIters)) {
+        std::printf("FAIL: warm churn was not served from the buckets "
+                    "(hits=%llu misses=%llu)\n",
+                    static_cast<unsigned long long>(astats.hits),
+                    static_cast<unsigned long long>(astats.misses));
+        ok = false;
+    }
+    if (n_groups < 8) {
+        std::printf("FAIL: database produced %zu groups, need >= 8\n", n_groups);
+        ok = false;
+    }
+    // Bit-identity between the sequential and parallel sweeps.
+    if (r_seq.weighted_mean_iter_us != r_par.weighted_mean_iter_us ||
+        r_seq.groups.size() != r_par.groups.size()) {
+        std::printf("FAIL: parallel sweep diverged from sequential "
+                    "(%.6f vs %.6f us over %zu vs %zu groups)\n",
+                    r_seq.weighted_mean_iter_us, r_par.weighted_mean_iter_us,
+                    r_seq.groups.size(), r_par.groups.size());
+        ok = false;
+    } else {
+        for (std::size_t i = 0; i < r_seq.groups.size(); ++i) {
+            if (r_seq.groups[i].result.mean_iter_us != r_par.groups[i].result.mean_iter_us) {
+                std::printf("FAIL: group %zu diverged under parallelism\n", i);
+                ok = false;
+            }
+        }
+    }
+    // Wall-clock: demand a real speedup only when the host can provide one.
+    // K threads on a single core cannot beat one thread doing identical work;
+    // there we only require near-parity (scheduling overhead bounded).
+    if (cores >= 2) {
+        if (sweep_speedup < 1.15) {
+            std::printf("FAIL: parallelism=4 sweep (%.1f us) not >=1.15x faster than "
+                        "sequential (%.1f us) on %u cores\n",
+                        par_us, seq_us, cores);
+            ok = false;
+        }
+    } else if (par_us > seq_us * 1.35) {
+        std::printf("FAIL: parallelism=4 sweep (%.1f us) more than 1.35x slower than "
+                    "sequential (%.1f us) on a single core\n",
+                    par_us, seq_us);
+        ok = false;
+    }
+    if (r_par.arena.hits == 0) {
+        std::printf("FAIL: warm parallel sweep recycled no buffers\n");
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::printf("OK: arena-warm iterations skip heap traffic (>=%.1fx) and parallel "
+                "sweeps match sequential results%s\n",
+                kArenaFloor,
+                cores >= 2 ? " with real wall-clock speedup" : " (single core: parity)");
+    return 0;
+}

@@ -4,8 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/replayer.h"
 #include "et/trace.h"
+#include "framework/math.h"
 #include "jit/ir.h"
 #include "jit/schema.h"
 #include "workloads/harness.h"
@@ -130,6 +133,72 @@ BM_OriginalIterationTraced(benchmark::State& state)
     state.SetLabel(state.range(0) != 0 ? "traced" : "untraced");
 }
 BENCHMARK(BM_OriginalIterationTraced)->Arg(0)->Arg(1);
+
+/// The seed's scalar gemm loop, kept as the baseline for the blocked kernel.
+void
+gemm_naive(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j)
+            c[i * n + j] = 0.0f;
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = a[i * k + p];
+            const float* brow = b + p * n;
+            float* crow = c + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+/// Naive-vs-blocked GEMM: records the k-panel tiling speedup (math::gemm is
+/// what every mm/addmm/bmm numeric-mode kernel dispatches through).
+void
+BM_GemmNaive(benchmark::State& state)
+{
+    const int64_t d = state.range(0);
+    std::vector<float> a(static_cast<std::size_t>(d * d), 1.5f);
+    std::vector<float> b(static_cast<std::size_t>(d * d), 0.5f);
+    std::vector<float> c(static_cast<std::size_t>(d * d));
+    for (auto _ : state) {
+        gemm_naive(a.data(), b.data(), c.data(), d, d, d);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["flops"] = benchmark::Counter(
+        static_cast<double>(2 * d * d * d), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmBlocked(benchmark::State& state)
+{
+    const int64_t d = state.range(0);
+    std::vector<float> a(static_cast<std::size_t>(d * d), 1.5f);
+    std::vector<float> b(static_cast<std::size_t>(d * d), 0.5f);
+    std::vector<float> c(static_cast<std::size_t>(d * d));
+    for (auto _ : state) {
+        fw::math::gemm(a.data(), b.data(), c.data(), d, d, d);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["flops"] = benchmark::Counter(
+        static_cast<double>(2 * d * d * d), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+/// Batched dispatch through the blocked kernel (aten::bmm's numeric path).
+void
+BM_BmmBlocked(benchmark::State& state)
+{
+    const int64_t batch = 8, d = 64;
+    std::vector<float> a(static_cast<std::size_t>(batch * d * d), 1.5f);
+    std::vector<float> b(static_cast<std::size_t>(batch * d * d), 0.5f);
+    std::vector<float> c(static_cast<std::size_t>(batch * d * d));
+    for (auto _ : state) {
+        fw::math::bmm(a.data(), b.data(), c.data(), batch, d, d, d);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_BmmBlocked);
 
 /// Collective cost-model evaluation (hot path of comm reconstruction).
 void

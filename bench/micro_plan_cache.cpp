@@ -16,7 +16,6 @@
 /// the batched sweep produces correctly weighted, cache-served results —
 /// the tentpole's perf claim stays enforced in the bench trajectory.
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -29,15 +28,7 @@
 namespace {
 
 using namespace mystique;
-
-double
-now_us()
-{
-    return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now().time_since_epoch())
-                                   .count()) /
-           1e3;
-}
+using bench::now_us;
 
 } // namespace
 

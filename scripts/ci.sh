@@ -9,7 +9,14 @@ cmake --build build -j
 cd build
 ctest --output-on-failure -j "$(nproc)"
 
-# Surface the perf-gate summaries in the CI log (both already ran — and
+# Surface the perf-gate summaries in the CI log (all already ran — and
 # gated — under ctest; this re-run just makes the numbers easy to find).
 echo "== bench summaries =="
 ./bench_micro_plan_cache | grep -E "micro_plan_cache_json:|^OK:|^FAIL:"
+./bench_micro_arena | grep -E "micro_arena_json:|^OK:|^FAIL:"
+
+# Read-before-write sentinel: recycled arena buffers are not zeroed, so run
+# the suite once with poisoned recycling (0xFF fill) to flush any kernel that
+# reads an output buffer before writing it.
+echo "== poisoned-arena test pass =="
+MYST_ARENA_POISON=1 ctest --output-on-failure -j "$(nproc)"

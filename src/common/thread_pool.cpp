@@ -1,0 +1,59 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mystique {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t n = std::max<std::size_t>(1, threads);
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> fn)
+{
+    std::packaged_task<void()> task(std::move(fn));
+    std::future<void> fut = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_)
+            throw std::runtime_error("ThreadPool::submit on a stopped pool");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the task's future
+    }
+}
+
+} // namespace mystique

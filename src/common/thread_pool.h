@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file
+/// Small fixed-size worker pool.
+///
+/// The pool owns N OS threads that drain a FIFO task queue; submit() returns
+/// a future that delivers the task's completion (or rethrows its exception).
+/// Consumers that need deterministic work placement — ReplayDriver stripes
+/// database groups across pooled replay sessions — submit one long-running
+/// task per worker instead of one task per work item, so the pool stays a
+/// dumb, predictable executor rather than a scheduler.
+///
+/// Destruction drains the queue: every task already submitted runs before the
+/// threads join (a submit racing destruction throws instead of being lost).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mystique {
+
+class ThreadPool {
+  public:
+    /// Spawns @p threads workers (clamped to at least 1).
+    explicit ThreadPool(std::size_t threads);
+
+    /// Blocks until every submitted task has run, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return threads_.size(); }
+
+    /// Enqueues @p fn; the returned future becomes ready when it completes
+    /// and rethrows any exception the task threw.  Throws std::runtime_error
+    /// if the pool is already shutting down.
+    std::future<void> submit(std::function<void()> fn);
+
+  private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::packaged_task<void()>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace mystique

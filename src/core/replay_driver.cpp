@@ -1,14 +1,96 @@
 #include "core/replay_driver.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "common/error.h"
 #include "device/platform.h"
 
 namespace mystique::core {
 
-ReplayDriver::ReplayDriver(ReplayConfig cfg, PlanCache* cache)
-    : cfg_(std::move(cfg)), cache_(cache)
+namespace {
+
+/// MYST_LOG=1 is the documented env toggle for sweep-stats output (printed
+/// unconditionally to stderr); it is unrelated to the MYST_LOG(level, msg)
+/// macro in common/logging.h, whose level comes from MYSTIQUE_LOG_LEVEL.
+bool
+sweep_log_enabled()
+{
+    const char* v = std::getenv("MYST_LOG");
+    return v != nullptr && v[0] == '1';
+}
+
+} // namespace
+
+/// One pooled replay worker: a Session + CommFabric constructed once and
+/// reused for every group this worker replays.
+struct ReplayDriver::Worker {
+    explicit Worker(const ReplayConfig& cfg)
+    {
+        fw::SessionOptions opts;
+        opts.platform = dev::platform(cfg.platform);
+        opts.mode = cfg.mode;
+        opts.seed = cfg.seed;
+        opts.rank = 0;
+        opts.world_size = 1;
+        opts.power_limit_w = cfg.power_limit_w;
+        opts.dispatch = fw::DispatchProfile::replay();
+        session = std::make_unique<fw::Session>(opts);
+        fabric = std::make_shared<comm::CommFabric>(1);
+    }
+
+    std::unique_ptr<fw::Session> session;
+    std::shared_ptr<comm::CommFabric> fabric;
+};
+
+ReplayDriver::ReplayDriver(ReplayConfig cfg, PlanCache* cache, std::size_t parallelism)
+    : cfg_(std::move(cfg)), cache_(cache), parallelism_(std::max<std::size_t>(1, parallelism))
 {
     MYST_CHECK(cache_ != nullptr);
+}
+
+ReplayDriver::~ReplayDriver() = default;
+
+void
+ReplayDriver::set_parallelism(std::size_t parallelism)
+{
+    parallelism_ = std::max<std::size_t>(1, parallelism);
+}
+
+ReplayDriver::Worker&
+ReplayDriver::ensure_worker(std::size_t index)
+{
+    while (workers_.size() <= index)
+        workers_.push_back(std::make_unique<Worker>(cfg_));
+    return *workers_[index];
+}
+
+GroupReplayResult
+ReplayDriver::replay_one(Worker& worker, const et::TraceDatabase& db,
+                         const et::TraceGroup& group,
+                         const std::vector<const prof::ProfilerTrace*>* profs)
+{
+    const std::size_t rep = group.representative();
+    const prof::ProfilerTrace* prof =
+        profs != nullptr && rep < profs->size() ? (*profs)[rep] : nullptr;
+
+    const std::shared_ptr<const ReplayPlan> plan =
+        cache_->get_or_build(db.trace(rep), prof, cfg_);
+
+    // Every group replays from identical session state (clocks, RNG, device,
+    // pg-id space) so the result is a pure function of (plan, config) — the
+    // parallel sweep's bit-identity with the sequential one depends on this.
+    // The session's StorageArena survives the reset: successive groups on
+    // this worker recycle the previous group's tensor buffers.
+    worker.session->reset_for_replay();
+    Replayer executor(plan, cfg_);
+    GroupReplayResult g;
+    g.group = group;
+    g.representative = rep;
+    g.result = executor.run_with(*worker.session, worker.fabric);
+    return g;
 }
 
 DatabaseReplayResult
@@ -21,48 +103,92 @@ ReplayDriver::replay_groups(const et::TraceDatabase& db, std::size_t top_k,
         return out;
     }
 
-    // One session/fabric for the whole sweep: session construction, operator
-    // registration and the device model are amortized across every group.
-    fw::SessionOptions opts;
-    opts.platform = dev::platform(cfg_.platform);
-    opts.mode = cfg_.mode;
-    opts.seed = cfg_.seed;
-    opts.rank = 0;
-    opts.world_size = 1;
-    opts.power_limit_w = cfg_.power_limit_w;
-    opts.dispatch = fw::DispatchProfile::replay();
-    fw::Session session(opts);
-    auto fabric = std::make_shared<comm::CommFabric>(1);
+    std::vector<et::TraceGroup> groups = db.analyze();
+    if (groups.size() > top_k)
+        groups.resize(top_k);
+    out.groups.resize(groups.size());
 
-    double weight_sum = 0.0;
-    double weighted_us = 0.0;
-    for (const et::TraceGroup& group : db.analyze()) {
-        if (out.groups.size() >= top_k)
-            break;
-        const std::size_t rep = group.representative();
-        const prof::ProfilerTrace* prof =
-            profs != nullptr && rep < profs->size() ? (*profs)[rep] : nullptr;
+    const std::size_t workers = std::min(parallelism_, groups.size());
+    if (workers <= 1) {
+        Worker& w = ensure_worker(0);
+        for (std::size_t i = 0; i < groups.size(); ++i)
+            out.groups[i] = replay_one(w, db, groups[i], profs);
+    } else {
+        for (std::size_t w = 0; w < workers; ++w)
+            ensure_worker(w); // construct on the driver thread, use on pool threads
+        if (pool_ == nullptr || pool_->size() != workers)
+            pool_ = std::make_unique<ThreadPool>(workers);
 
-        const std::shared_ptr<const ReplayPlan> plan =
-            cache_->get_or_build(db.trace(rep), prof, cfg_);
-
-        // Previous group's process groups must not leak into this trace's
-        // pg-id space.
-        session.clear_process_groups();
-        Replayer executor(plan, cfg_);
-        GroupReplayResult g;
-        g.group = group;
-        g.representative = rep;
-        g.result = executor.run_with(session, fabric);
-
-        weight_sum += group.population_weight;
-        weighted_us += group.population_weight * g.result.mean_iter_us;
-        out.groups.push_back(std::move(g));
+        // Deterministic striping: worker w replays groups w, w+K, w+2K, ...
+        // Each worker session is owned by exactly one pool task; only the
+        // PlanCache (thread-safe) is shared.
+        std::vector<std::future<void>> done;
+        done.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            done.push_back(pool_->submit([this, w, workers, &groups, &db, profs, &out] {
+                for (std::size_t i = w; i < groups.size(); i += workers)
+                    out.groups[i] = replay_one(*workers_[w], db, groups[i], profs);
+            }));
+        }
+        std::string first_error;
+        for (std::size_t w = 0; w < workers; ++w) {
+            try {
+                done[w].get();
+            } catch (const std::exception& e) {
+                if (first_error.empty())
+                    first_error = "sweep worker " + std::to_string(w) +
+                                  " failed: " + e.what();
+            }
+        }
+        if (!first_error.empty())
+            MYST_THROW(ReplayError, first_error);
     }
 
+    // Merge in group order regardless of which worker replayed what, so the
+    // weighted mean's floating-point summation order is fixed.
+    double weight_sum = 0.0;
+    double weighted_us = 0.0;
+    for (const GroupReplayResult& g : out.groups) {
+        weight_sum += g.group.population_weight;
+        weighted_us += g.group.population_weight * g.result.mean_iter_us;
+    }
     out.population_covered = weight_sum;
     out.weighted_mean_iter_us = weight_sum > 0.0 ? weighted_us / weight_sum : 0.0;
     out.cache = cache_->stats();
+    for (const auto& w : workers_) {
+        const fw::StorageArenaStats s = w->session->arena().stats();
+        out.arena.hits += s.hits;
+        out.arena.misses += s.misses;
+        out.arena.returns += s.returns;
+        out.arena.heap_frees += s.heap_frees;
+        out.arena.bytes_outstanding += s.bytes_outstanding;
+        // Max, not sum: per-worker peaks happen at different times, so their
+        // sum would report a high-water mark no state ever reached.
+        out.arena.peak_bytes_outstanding =
+            std::max(out.arena.peak_bytes_outstanding, s.peak_bytes_outstanding);
+        out.arena.bytes_cached += s.bytes_cached;
+    }
+
+    if (sweep_log_enabled()) {
+        std::fprintf(stderr,
+                     "[mystique] sweep: %zu groups, parallelism=%zu, "
+                     "weighted_mean_iter_us=%.2f\n"
+                     "[mystique]   plan cache: hits=%llu misses=%llu evictions=%llu "
+                     "size=%zu/%zu\n"
+                     "[mystique]   arena: hits=%llu misses=%llu returns=%llu "
+                     "cached=%lld B outstanding=%lld B (max worker peak %lld B)\n",
+                     out.groups.size(), parallelism_, out.weighted_mean_iter_us,
+                     static_cast<unsigned long long>(out.cache.hits),
+                     static_cast<unsigned long long>(out.cache.misses),
+                     static_cast<unsigned long long>(out.cache.evictions),
+                     out.cache.size, out.cache.capacity,
+                     static_cast<unsigned long long>(out.arena.hits),
+                     static_cast<unsigned long long>(out.arena.misses),
+                     static_cast<unsigned long long>(out.arena.returns),
+                     static_cast<long long>(out.arena.bytes_cached),
+                     static_cast<long long>(out.arena.bytes_outstanding),
+                     static_cast<long long>(out.arena.peak_bytes_outstanding));
+    }
     return out;
 }
 

@@ -7,11 +7,26 @@
 /// a database's traces by operator-mix fingerprint; the driver then replays
 /// one *representative* per group — fetching each group's plan through the
 /// PlanCache, so equivalent groups across sweeps (and repeated sweeps of the
-/// same database) never rebuild — on a single shared session/fabric, and
-/// weights each group's replayed time by its population weight.  This is the
-/// "generate once, reuse across the population" amortization: session setup,
-/// operator registration and plan builds are paid once per distinct group,
-/// not once per trace.
+/// same database) never rebuild — and weights each group's replayed time by
+/// its population weight.  This is the "generate once, reuse across the
+/// population" amortization: session setup, operator registration and plan
+/// builds are paid once per distinct group, not once per trace.
+///
+/// ## Scaling a sweep
+///
+/// The driver owns a pool of `parallelism` workers, each a Session +
+/// CommFabric pair constructed once and reused across groups (and across
+/// sweeps).  Groups are striped deterministically across workers (group i →
+/// worker i % K) on a shared ThreadPool; plans are fetched through the
+/// thread-safe PlanCache, so workers hitting the same fingerprint share one
+/// build.  Before each group the worker session is reset_for_replay()ed —
+/// clocks to zero, RNG reseeded, device cleared — so every group's replay is
+/// a pure function of (plan, config) and the merged results are bit-identical
+/// to the sequential (parallelism=1) sweep: per-group results are merged in
+/// group order, making the population-weighted mean's summation order fixed.
+/// The reset deliberately keeps each session's StorageArena, so successive
+/// groups on a worker recycle tensor buffers instead of hitting the heap;
+/// set MYST_LOG=1 to print arena + plan-cache counters after each sweep.
 ///
 /// Layering note: TraceDatabase lives in et/ (below core/), so the database
 /// sweep entry point lives here as ReplayDriver::replay_groups(db) rather
@@ -19,11 +34,14 @@
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/plan_cache.h"
 #include "core/replayer.h"
 #include "et/trace_db.h"
+#include "framework/storage_arena.h"
 
 namespace mystique::core {
 
@@ -46,16 +64,34 @@ struct DatabaseReplayResult {
     double population_covered = 0.0;
     /// Plan-cache counters observed after the sweep.
     PlanCacheStats cache;
+    /// Storage-arena counters aggregated over the worker sessions after the
+    /// sweep (recycling across iterations and groups shows up as hits).
+    /// Counters and byte totals are summed; peak_bytes_outstanding is the
+    /// max over workers (per-worker peaks occur at different times).
+    fw::StorageArenaStats arena;
 };
 
 /// Sweeps a trace database: analyze → one cached plan per group → replay
-/// representatives on one shared session/fabric → weight by population.
+/// representatives on pooled worker sessions → weight by population.
 class ReplayDriver {
   public:
-    /// @param cache  defaults to the process-wide cache; tests inject one.
-    explicit ReplayDriver(ReplayConfig cfg, PlanCache* cache = &PlanCache::instance());
+    /// @param cache        defaults to the process-wide cache; tests inject one.
+    /// @param parallelism  worker sessions replaying groups concurrently;
+    ///        1 (default) sweeps sequentially on a single reused session.
+    explicit ReplayDriver(ReplayConfig cfg, PlanCache* cache = &PlanCache::instance(),
+                          std::size_t parallelism = 1);
+    ~ReplayDriver();
+
+    ReplayDriver(const ReplayDriver&) = delete;
+    ReplayDriver& operator=(const ReplayDriver&) = delete;
+
+    /// Changes the worker count for subsequent sweeps.  Existing worker
+    /// sessions (and their arenas) are kept; 0 is clamped to 1.
+    void set_parallelism(std::size_t parallelism);
+    std::size_t parallelism() const { return parallelism_; }
 
     /// Replays the @p top_k most-populous groups (all groups by default).
+    /// Results are identical for every parallelism level.
     /// @param profs  optional per-trace profiler traces, parallel to the
     ///        database's indices; null entries (or a null vector) build
     ///        plans without stream assignments.
@@ -65,8 +101,20 @@ class ReplayDriver {
                   const std::vector<const prof::ProfilerTrace*>* profs = nullptr);
 
   private:
+    struct Worker; // Session + CommFabric, defined in the .cpp
+
+    Worker& ensure_worker(std::size_t index);
+    GroupReplayResult replay_one(Worker& worker, const et::TraceDatabase& db,
+                                 const et::TraceGroup& group,
+                                 const std::vector<const prof::ProfilerTrace*>* profs);
+
     ReplayConfig cfg_;
     PlanCache* cache_;
+    std::size_t parallelism_;
+    /// Workers persist across sweeps: session construction and arena warmth
+    /// are paid once per driver, not once per sweep.
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace mystique::core

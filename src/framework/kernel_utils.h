@@ -8,12 +8,24 @@
 /// which is what lets Figure 6 compare per-kernel metrics by name.
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "common/string_util.h"
 #include "device/kernel.h"
+#include "framework/tensor.h"
 
 namespace mystique::fw {
+
+/// Zeroes a tensor's backing bytes when it has any.  Ops whose outputs must
+/// read as zeros (aten::zeros, out-of-place collectives) call this instead
+/// of relying on allocation: recycled StorageArena buffers are not zeroed.
+inline void
+zero_fill(const Tensor& t)
+{
+    if (t.defined() && t.materialized() && t.nbytes() > 0)
+        std::memset(t.impl()->storage->data(), 0, static_cast<std::size_t>(t.nbytes()));
+}
 
 inline dev::KernelDesc
 gemm_kernel(int64_t m, int64_t k, int64_t n, int64_t batch = 1,

@@ -15,14 +15,35 @@ gemm(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
      float alpha, float beta)
 {
     for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < n; ++j)
-            c[i * n + j] *= beta;
-        for (int64_t p = 0; p < k; ++p) {
-            const float av = alpha * a[i * k + p];
-            if (av == 0.0f)
-                continue;
+        float* crow = c + i * n;
+        // beta == 0 must OVERWRITE, never scale: the output may be recycled
+        // (uninitialized) arena storage, and NaN * 0 == NaN would propagate
+        // garbage into every product.  This is the BLAS convention.
+        if (beta == 0.0f)
+            std::fill(crow, crow + n, 0.0f);
+        else if (beta != 1.0f)
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] *= beta;
+        const float* arow = a + i * k;
+        // k-panels of 4: one pass over the C row per four A elements keeps
+        // the row in registers/L1 and gives the compiler a clean 4-term FMA
+        // chain to vectorize over j.
+        int64_t p = 0;
+        for (; p + 4 <= k; p += 4) {
+            const float av0 = alpha * arow[p];
+            const float av1 = alpha * arow[p + 1];
+            const float av2 = alpha * arow[p + 2];
+            const float av3 = alpha * arow[p + 3];
+            const float* b0 = b + p * n;
+            const float* b1 = b0 + n;
+            const float* b2 = b1 + n;
+            const float* b3 = b2 + n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av0 * b0[j] + av1 * b1[j] + av2 * b2[j] + av3 * b3[j];
+        }
+        for (; p < k; ++p) {
+            const float av = alpha * arow[p];
             const float* brow = b + p * n;
-            float* crow = c + i * n;
             for (int64_t j = 0; j < n; ++j)
                 crow[j] += av * brow[j];
         }
@@ -635,9 +656,10 @@ embedding_bag(const float* weight, const int64_t* indices, const int64_t* offset
 
 void
 embedding_bag_backward(const float* grad_out, const int64_t* indices,
-                       const int64_t* offsets, float* grad_weight, int64_t nnz,
-                       int64_t bags, int64_t dim)
+                       const int64_t* offsets, float* grad_weight, int64_t rows,
+                       int64_t nnz, int64_t bags, int64_t dim)
 {
+    std::fill(grad_weight, grad_weight + rows * dim, 0.0f);
     for (int64_t b = 0; b < bags; ++b) {
         const int64_t begin = offsets[b];
         const int64_t end = b + 1 < bags ? offsets[b + 1] : nnz;

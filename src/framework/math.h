@@ -13,11 +13,14 @@
 
 namespace mystique::fw::math {
 
-/// C[M,N] = alpha * A[M,K] @ B[K,N] + beta * C
+/// C[M,N] = alpha * A[M,K] @ B[K,N] + beta * C.  beta == 0 overwrites C
+/// without reading it (BLAS convention) so C may be uninitialized / recycled
+/// arena storage; inner loops are k-panel blocked for vectorization.
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
           float alpha = 1.0f, float beta = 0.0f);
 
-/// Batched GEMM over leading dimension.
+/// Batched GEMM over leading dimension; each batch dispatches through the
+/// blocked gemm kernel above.
 void bmm(const float* a, const float* b, float* c, int64_t batch, int64_t m, int64_t k,
          int64_t n);
 
@@ -105,9 +108,11 @@ void bce_with_logits_backward(float grad, const float* logits, const float* targ
 /// Sum-mode embedding bag: weight [rows, dim], indices [nnz], offsets [bags].
 void embedding_bag(const float* weight, const int64_t* indices, const int64_t* offsets,
                    float* out, int64_t nnz, int64_t bags, int64_t dim);
+/// Zero-fills grad_weight [rows, dim] before scattering (outputs may be
+/// recycled, uninitialized arena storage).
 void embedding_bag_backward(const float* grad_out, const int64_t* indices,
-                            const int64_t* offsets, float* grad_weight, int64_t nnz,
-                            int64_t bags, int64_t dim);
+                            const int64_t* offsets, float* grad_weight, int64_t rows,
+                            int64_t nnz, int64_t bags, int64_t dim);
 
 /// Single LSTM layer forward: input [T,B,I] → output [T,B,H] (h/c start at 0).
 /// w_ih [4H,I], w_hh [4H,H], bias [4H]; gate order (i, f, g, o).

@@ -31,6 +31,13 @@ run_collective(Session& s, const CollectiveSpec& spec, const Tensor& input,
 {
     s.set_current_pg(pg_id);
     const auto& pg = s.process_group(pg_id);
+    // The simulator never computes collective numerics; out-of-place outputs
+    // have always read as zeros (the old zero-filling alloc).  Recycled arena
+    // buffers are not zeroed, so keep that contract explicit — but never
+    // touch in-place collectives (all_reduce/broadcast mutate their input).
+    if (output.impl() != nullptr && input.impl() != nullptr &&
+        output.impl()->storage != input.impl()->storage)
+        zero_fill(output);
     const double bytes = static_cast<double>(input.nbytes());
     const sim::TimeUs arrival =
         std::max({s.cpu_now(), input.ready_us(), s.device().stream_tail(dev::kCommStream)});

@@ -24,6 +24,8 @@ ones_like_fn(Session& s, const std::vector<IValue>& in)
     Tensor out = s.alloc(a.shape(), a.dtype());
     if (s.numeric() && a.dtype() == DType::kFloat32)
         std::fill(out.f32(), out.f32() + out.numel(), 1.0f);
+    else
+        zero_fill(out);
     s.launch(pointwise_kernel("fill", a.numel(), 0), dev::kComputeStream, {}, {out});
     return {IValue(out)};
 }
@@ -33,7 +35,9 @@ zeros_like_fn(Session& s, const std::vector<IValue>& in)
 {
     const Tensor& a = in[0].tensor();
     Tensor out = s.alloc(a.shape(), a.dtype());
-    // alloc zero-fills; model the memset kernel.
+    // Recycled arena storage is not zeroed: fill explicitly, and model the
+    // memset kernel.
+    zero_fill(out);
     s.launch(pointwise_kernel("fill", a.numel(), 0), dev::kComputeStream, {}, {out});
     return {IValue(out)};
 }
@@ -42,6 +46,7 @@ std::vector<IValue>
 zeros_fn(Session& s, const std::vector<IValue>& in)
 {
     Tensor out = s.alloc(in[0].int_list());
+    zero_fill(out);
     s.launch(pointwise_kernel("fill", out.numel(), 0), dev::kComputeStream, {}, {out});
     return {IValue(out)};
 }

@@ -130,7 +130,7 @@ batched_embedding_backward_fn(Session& s, const std::vector<IValue>& in)
     if (s.numeric()) {
         const Tensor flat = grad_out.view_as({bags, dim});
         math::embedding_bag_backward(flat.f32(), indices.i64(), offsets.i64(),
-                                     grad_w.f32(), indices.numel(), bags, dim);
+                                     grad_w.f32(), rows, indices.numel(), bags, dim);
     }
     const double loc = embedding_locality(indices);
     s.launch(embedding_kernel("fbgemm_batched_bwd", indices.numel(), dim,

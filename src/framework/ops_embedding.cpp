@@ -60,7 +60,7 @@ embedding_bag_backward_fn(Session& s, const std::vector<IValue>& in)
     Tensor grad_w = s.alloc({num_weights, dim});
     if (s.numeric())
         math::embedding_bag_backward(grad_out.f32(), indices.i64(), offsets.i64(),
-                                     grad_w.f32(), nnz, bags, dim);
+                                     grad_w.f32(), num_weights, nnz, bags, dim);
 
     const double loc = embedding_locality(indices);
     s.launch(embedding_kernel("embedding_bag_bwd", nnz, dim, unique_indices(indices), loc),

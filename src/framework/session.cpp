@@ -34,12 +34,39 @@ Session::Session(SessionOptions opts)
     : opts_(std::move(opts)),
       device_(opts_.platform, opts_.power_limit_w),
       rng_(opts_.seed + 0x9E37 * static_cast<uint64_t>(opts_.rank + 1)),
+      arena_(std::make_shared<StorageArena>()),
       engine_(std::make_unique<autograd::Engine>())
 {
     ensure_ops_registered();
 }
 
 Session::~Session() = default;
+
+void
+Session::reset_for_replay()
+{
+    main_clock_.reset();
+    autograd_clock_.reset();
+    tid_ = kMainThread;
+    next_node_id_ = 0;
+    next_tensor_uid_ = 0;
+    call_stack_.clear();
+    stream_override_.reset();
+    current_pg_id_ = -1;
+    grad_enabled_ = true;
+    process_groups_.clear();
+    device_.reset();
+    // Reseed exactly as construction does, so a reset session replays a plan
+    // bit-identically to a freshly built one; the arena is deliberately NOT
+    // touched — its cached buffers are the cross-group recycling win.
+    rng_ = Rng(opts_.seed + 0x9E37 * static_cast<uint64_t>(opts_.rank + 1));
+    engine_ = std::make_unique<autograd::Engine>();
+    grad_hooks_.clear();
+    // Observers are caller-owned stack objects; construction leaves them
+    // null and so must a reset (a stale pointer here would dangle).
+    et_observer_ = nullptr;
+    profiler_ = nullptr;
+}
 
 sim::VirtualClock&
 Session::clock()
@@ -325,7 +352,7 @@ Tensor
 Session::alloc(Shape shape, DType dtype, bool force_materialize)
 {
     const bool mat = numeric() || force_materialize || dtype != DType::kFloat32;
-    Tensor t = Tensor::create(std::move(shape), dtype, mat);
+    Tensor t = Tensor::create(std::move(shape), dtype, mat, arena_);
     t.impl()->device =
         opts_.platform.is_gpu ? "cuda:" + std::to_string(opts_.rank) : "cpu";
     t.set_ready_us(clock().now());

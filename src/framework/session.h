@@ -118,6 +118,8 @@ class Session {
 
     /// Allocates an output tensor (materialized in numeric mode, or when
     /// @p force_materialize is set — small index tensors are always real).
+    /// Buffers come from the session's StorageArena: a recycled buffer keeps
+    /// its previous contents, so kernels must fully write their outputs.
     Tensor alloc(Shape shape, DType dtype = DType::kFloat32, bool force_materialize = false);
 
     /// Launches a kernel for the currently-executing op.
@@ -205,6 +207,18 @@ class Session {
     Rng& rng() { return rng_; }
     int rank() const { return opts_.rank; }
 
+    /// The session's caching tensor-storage allocator (see storage_arena.h).
+    StorageArena& arena() { return *arena_; }
+    const StorageArena& arena() const { return *arena_; }
+
+    /// Rewinds the session to its just-constructed state — clocks at zero,
+    /// RNG reseeded, device and counters cleared, process groups dropped —
+    /// while KEEPING the storage arena's cached buffers.  ReplayDriver calls
+    /// this between groups so every replay starts from identical state (the
+    /// parallel sweep's bit-identity depends on it) yet still recycles the
+    /// previous group's tensor buffers.
+    void reset_for_replay();
+
     /// Next ET node ID (for tests and the replayer's bookkeeping).
     int64_t next_node_id() const { return next_node_id_; }
 
@@ -234,6 +248,7 @@ class Session {
     SessionOptions opts_;
     dev::Device device_;
     Rng rng_;
+    std::shared_ptr<StorageArena> arena_;
 
     sim::VirtualClock main_clock_;
     sim::VirtualClock autograd_clock_;

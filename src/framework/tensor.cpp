@@ -17,42 +17,63 @@ next_storage_id()
 
 } // namespace
 
-Storage::Storage(int64_t nbytes, bool materialize_now) : id_(next_storage_id()), nbytes_(nbytes)
+Storage::Storage(int64_t nbytes, bool materialize_now, std::shared_ptr<StorageArena> arena)
+    : id_(next_storage_id()), nbytes_(nbytes), arena_(std::move(arena))
 {
     MYST_CHECK_MSG(nbytes >= 0, "negative storage size");
     if (materialize_now)
         materialize();
 }
 
+Storage::~Storage()
+{
+    if (data_ == nullptr)
+        return;
+    if (arena_ != nullptr)
+        arena_->release({data_, capacity_});
+    else
+        delete[] data_;
+}
+
 void
 Storage::materialize()
 {
-    if (data_.empty() && nbytes_ > 0)
-        data_.assign(static_cast<std::size_t>(nbytes_), std::byte{0});
+    if (data_ != nullptr || nbytes_ <= 0)
+        return;
+    if (arena_ != nullptr) {
+        const StorageArena::Block block = arena_->acquire(nbytes_);
+        data_ = block.data;
+        capacity_ = block.capacity;
+    } else {
+        // Value-initialized: fresh heap buffers are zeroed, as before.
+        data_ = new std::byte[static_cast<std::size_t>(nbytes_)]();
+        capacity_ = nbytes_;
+    }
 }
 
 std::byte*
 Storage::data()
 {
     MYST_CHECK_MSG(materialized() || nbytes_ == 0, "storage not materialized");
-    return data_.data();
+    return data_;
 }
 
 const std::byte*
 Storage::data() const
 {
     MYST_CHECK_MSG(materialized() || nbytes_ == 0, "storage not materialized");
-    return data_.data();
+    return data_;
 }
 
 Tensor
-Tensor::create(Shape shape, DType dtype, bool materialize)
+Tensor::create(Shape shape, DType dtype, bool materialize,
+               std::shared_ptr<StorageArena> arena)
 {
     auto impl = std::make_shared<TensorImpl>();
     const int64_t bytes = shape_numel(shape) * dtype_size(dtype);
     impl->shape = std::move(shape);
     impl->dtype = dtype;
-    impl->storage = std::make_shared<Storage>(bytes, materialize);
+    impl->storage = std::make_shared<Storage>(bytes, materialize, std::move(arena));
     return Tensor(std::move(impl));
 }
 

@@ -16,11 +16,19 @@
 /// numeric mode their data is eagerly copied into layout-normalized form so
 /// math kernels can stay stride-free.  Views launch no kernels and cost no
 /// device time, matching their role in real traces.
+///
+/// Storage buffers come from a session's StorageArena when one is passed at
+/// creation (Session::alloc always passes its own): materialize() acquires a
+/// size-bucketed block and the destructor releases it back, so repeated
+/// replay iterations recycle buffers instead of hitting the heap.  Recycled
+/// blocks are NOT zeroed — only a tensor's first (heap-fresh) backing is —
+/// see storage_arena.h for the full contract.
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "framework/storage_arena.h"
 #include "framework/types.h"
 #include "sim/timeline.h"
 
@@ -29,13 +37,20 @@ namespace mystique::fw {
 /// Reference-counted raw buffer with global ID and lazy materialization.
 class Storage {
   public:
-    Storage(int64_t nbytes, bool materialize_now);
+    /// @param arena  buffer source; null → plain (zero-filled) heap buffer.
+    Storage(int64_t nbytes, bool materialize_now,
+            std::shared_ptr<StorageArena> arena = nullptr);
+    ~Storage();
+
+    Storage(const Storage&) = delete;
+    Storage& operator=(const Storage&) = delete;
 
     int64_t id() const { return id_; }
     int64_t nbytes() const { return nbytes_; }
-    bool materialized() const { return !data_.empty(); }
+    bool materialized() const { return data_ != nullptr; }
 
-    /// Allocates the buffer if not already backed.
+    /// Acquires the buffer if not already backed (from the arena when one
+    /// was provided).  Recycled arena blocks keep their prior contents.
     void materialize();
 
     /// Raw pointer; requires materialized().
@@ -45,7 +60,9 @@ class Storage {
   private:
     int64_t id_;
     int64_t nbytes_;
-    std::vector<std::byte> data_;
+    std::byte* data_ = nullptr;
+    int64_t capacity_ = 0; ///< bucket-rounded arena capacity (= nbytes_ on heap)
+    std::shared_ptr<StorageArena> arena_;
 };
 
 /// Shared tensor state.
@@ -75,8 +92,10 @@ class Tensor {
     explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
 
     /// Creates a tensor; when @p materialize is false, storage is metadata
-    /// only (ShapeOnly execution).
-    static Tensor create(Shape shape, DType dtype, bool materialize);
+    /// only (ShapeOnly execution).  @p arena, when given, backs the storage
+    /// with recycled buffers (Session::alloc passes the session's arena).
+    static Tensor create(Shape shape, DType dtype, bool materialize,
+                         std::shared_ptr<StorageArena> arena = nullptr);
 
     /// Creates a view impl sharing this tensor's storage with a new shape.
     Tensor view_as(Shape shape) const;

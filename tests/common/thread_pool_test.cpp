@@ -1,0 +1,110 @@
+/// ThreadPool tests: task completion, true concurrency, exception
+/// propagation through futures, drain-on-destruction, size clamping.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace mystique {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 100; ++i)
+        futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+    for (auto& f : futs)
+        f.get();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    auto f = pool.submit([] {});
+    f.get();
+}
+
+TEST(ThreadPool, TasksRunConcurrently)
+{
+    // All four tasks block until all four have entered: only possible if the
+    // pool really runs them on four live threads.
+    constexpr int kWorkers = 4;
+    ThreadPool pool(kWorkers);
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < kWorkers; ++i) {
+        futs.push_back(pool.submit([&] {
+            std::unique_lock<std::mutex> lock(mu);
+            ++arrived;
+            cv.notify_all();
+            cv.wait(lock, [&] { return arrived == kWorkers; });
+        }));
+    }
+    for (auto& f : futs)
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    for (auto& f : futs)
+        f.get();
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] {});
+    auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+    ok.get();
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    auto after = pool.submit([] {});
+    after.get();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                count.fetch_add(1);
+            });
+        // No explicit wait: destruction must run every submitted task.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DistinctThreadsObserved)
+{
+    ThreadPool pool(3);
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 60; ++i)
+        futs.push_back(pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            std::lock_guard<std::mutex> lock(mu);
+            ids.insert(std::this_thread::get_id());
+        }));
+    for (auto& f : futs)
+        f.get();
+    EXPECT_GE(ids.size(), 1u);
+    EXPECT_LE(ids.size(), 3u);
+}
+
+} // namespace
+} // namespace mystique

@@ -1,0 +1,165 @@
+/// ReplayDriver parallel-sweep tests: a parallelism=K sweep must produce
+/// results bit-identical to the sequential sweep (same per-group timings,
+/// same weighted mean, same coverage), repeated sweeps on one driver must be
+/// stable (buffer recycling cannot perturb virtual time), and the arena
+/// stats surfaced per sweep must show the recycling actually happening.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "core/replay_driver.h"
+#include "workloads/harness.h"
+
+namespace mystique::core {
+namespace {
+
+wl::RunConfig
+trace_cfg(fw::ExecMode mode)
+{
+    wl::RunConfig cfg;
+    cfg.mode = mode;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 2;
+    cfg.seed = 7;
+    return cfg;
+}
+
+ReplayConfig
+replay_cfg(fw::ExecMode mode)
+{
+    ReplayConfig cfg;
+    cfg.mode = mode;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 3;
+    cfg.seed = 11;
+    return cfg;
+}
+
+/// A database whose groups have distinct op mixes and skewed populations.
+struct SweepFixture {
+    et::TraceDatabase db;
+    std::vector<wl::RunResult> runs;
+    std::vector<const prof::ProfilerTrace*> profs;
+
+    explicit SweepFixture(fw::ExecMode mode, bool include_paper_preset)
+    {
+        wl::WorkloadOptions tiny;
+        tiny.preset = wl::Preset::kTiny;
+        std::vector<std::pair<const char*, wl::WorkloadOptions>> specs = {
+            {"param_linear", tiny}, {"rm", tiny}, {"asr", tiny}, {"resnet", tiny}};
+        if (include_paper_preset) {
+            wl::WorkloadOptions paper;
+            paper.preset = wl::Preset::kPaper;
+            specs.emplace_back("param_linear", paper);
+        }
+        const std::vector<int> copies = {3, 2, 2, 1, 1};
+        runs.reserve(specs.size()); // no reallocation: profs point into runs
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            runs.push_back(wl::run_original(specs[i].first, specs[i].second,
+                                            trace_cfg(mode)));
+            for (int c = 0; c < copies[i]; ++c) {
+                db.add(runs.back().rank0().trace);
+                profs.push_back(&runs.back().rank0().prof);
+            }
+        }
+    }
+};
+
+void
+expect_identical(const DatabaseReplayResult& a, const DatabaseReplayResult& b)
+{
+    ASSERT_EQ(a.groups.size(), b.groups.size());
+    EXPECT_EQ(a.weighted_mean_iter_us, b.weighted_mean_iter_us);
+    EXPECT_EQ(a.population_covered, b.population_covered);
+    for (std::size_t i = 0; i < a.groups.size(); ++i) {
+        const GroupReplayResult& ga = a.groups[i];
+        const GroupReplayResult& gb = b.groups[i];
+        EXPECT_EQ(ga.group.fingerprint, gb.group.fingerprint);
+        EXPECT_EQ(ga.representative, gb.representative);
+        EXPECT_EQ(ga.result.mean_iter_us, gb.result.mean_iter_us);
+        ASSERT_EQ(ga.result.iter_us.size(), gb.result.iter_us.size());
+        for (std::size_t j = 0; j < ga.result.iter_us.size(); ++j)
+            EXPECT_EQ(ga.result.iter_us[j], gb.result.iter_us[j]);
+    }
+}
+
+TEST(ReplayDriver, ParallelSweepMatchesSequential)
+{
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/true);
+    ASSERT_GE(fx.db.analyze().size(), 4u);
+
+    PlanCache cache_seq(16), cache_par(16);
+    ReplayDriver seq(replay_cfg(fw::ExecMode::kShapeOnly), &cache_seq, 1);
+    ReplayDriver par(replay_cfg(fw::ExecMode::kShapeOnly), &cache_par, 4);
+    EXPECT_EQ(par.parallelism(), 4u);
+
+    const DatabaseReplayResult r1 = seq.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    const DatabaseReplayResult r4 = par.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    EXPECT_GT(r1.weighted_mean_iter_us, 0.0);
+    expect_identical(r1, r4);
+}
+
+TEST(ReplayDriver, NumericParallelSweepMatchesSequential)
+{
+    // Numeric mode exercises real tensor materialization, so recycled
+    // (uninitialized) arena buffers flow through every kernel; virtual time
+    // must not depend on their contents.
+    SweepFixture fx(fw::ExecMode::kNumeric, /*include_paper_preset=*/false);
+
+    PlanCache cache_seq(16), cache_par(16);
+    ReplayDriver seq(replay_cfg(fw::ExecMode::kNumeric), &cache_seq, 1);
+    ReplayDriver par(replay_cfg(fw::ExecMode::kNumeric), &cache_par, 3);
+
+    const DatabaseReplayResult r1 = seq.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    const DatabaseReplayResult r3 = par.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_identical(r1, r3);
+}
+
+TEST(ReplayDriver, RepeatedSweepsAreStableAndRecycle)
+{
+    SweepFixture fx(fw::ExecMode::kNumeric, /*include_paper_preset=*/false);
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kNumeric), &cache, 2);
+
+    const DatabaseReplayResult first = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    const DatabaseReplayResult second = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_identical(first, second);
+
+    // The second sweep replays every group on warm sessions: all plans come
+    // from the cache and tensor buffers come from the arenas.
+    EXPECT_EQ(second.cache.misses, first.cache.misses);
+    EXPECT_GT(second.arena.hits, first.arena.hits);
+    EXPECT_GT(second.arena.hits, 0u);
+}
+
+TEST(ReplayDriver, TopKHonoredUnderParallelism)
+{
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 4);
+    const DatabaseReplayResult r = driver.replay_groups(fx.db, 2, &fx.profs);
+    ASSERT_EQ(r.groups.size(), 2u);
+    EXPECT_GE(r.groups[0].group.population_weight, r.groups[1].group.population_weight);
+    EXPECT_LT(r.population_covered, 1.0);
+    EXPECT_GT(r.population_covered, 0.0);
+}
+
+TEST(ReplayDriver, SetParallelismTakesEffect)
+{
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 1);
+    const DatabaseReplayResult r1 = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    driver.set_parallelism(0); // clamped
+    EXPECT_EQ(driver.parallelism(), 1u);
+    driver.set_parallelism(3);
+    EXPECT_EQ(driver.parallelism(), 3u);
+    const DatabaseReplayResult r3 = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_identical(r1, r3);
+}
+
+} // namespace
+} // namespace mystique::core

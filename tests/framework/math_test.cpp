@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,6 +44,40 @@ TEST(Gemm, AlphaBeta)
     std::vector<float> c{10, 10, 10, 10};
     gemm(a.data(), b.data(), c.data(), 2, 2, 2, 0.5f, 1.0f);
     EXPECT_FLOAT_EQ(c[0], 11.0f); // 10 + 0.5*2
+}
+
+TEST(Gemm, BetaZeroOverwritesUninitializedOutput)
+{
+    // Regression: beta == 0 used to compute c *= 0, which propagates NaN/Inf
+    // from uninitialized output buffers — exactly what recycled StorageArena
+    // blocks contain.  beta == 0 must overwrite without reading c.
+    const std::vector<float> a{1, 2, 3, 4};
+    const std::vector<float> b{5, 6, 7, 8};
+    const float qnan = std::numeric_limits<float>::quiet_NaN();
+    std::vector<float> c{qnan, std::numeric_limits<float>::infinity(), qnan, -qnan};
+    gemm(a.data(), b.data(), c.data(), 2, 2, 2, 1.0f, 0.0f);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, OddKTailAndScaling)
+{
+    // k = 7 exercises both the 4-wide k-panel and the scalar tail; compare
+    // every element against a reference dot product under alpha/beta.
+    const auto a = random_vec(3 * 7, 11);
+    const auto b = random_vec(7 * 4, 12);
+    std::vector<float> c(3 * 4, 2.0f);
+    gemm(a.data(), b.data(), c.data(), 3, 7, 4, 0.5f, 3.0f);
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            float ref = 2.0f * 3.0f;
+            for (int k = 0; k < 7; ++k)
+                ref += 0.5f * a[i * 7 + k] * b[k * 4 + j];
+            EXPECT_NEAR(c[i * 4 + j], ref, 1e-4) << "at (" << i << "," << j << ")";
+        }
+    }
 }
 
 TEST(Gemm, NonSquare)
@@ -346,10 +381,13 @@ TEST(EmbeddingBagBackward, ScatterAdds)
     const std::vector<int64_t> idx{0, 2, 0};
     const std::vector<int64_t> off{0, 2};
     const std::vector<float> go{1, 10, 2, 20};
-    std::vector<float> gw(6, 0.0f);
-    embedding_bag_backward(go.data(), idx.data(), off.data(), gw.data(), 3, 2, 2);
+    // Seed with NaN: the kernel must zero-fill before scattering, since its
+    // output may be a recycled (uninitialized) arena buffer.
+    std::vector<float> gw(6, std::numeric_limits<float>::quiet_NaN());
+    embedding_bag_backward(go.data(), idx.data(), off.data(), gw.data(), 3, 3, 2, 2);
     EXPECT_FLOAT_EQ(gw[0], 3.0f);  // row 0 hit by bag0 and bag1
     EXPECT_FLOAT_EQ(gw[1], 30.0f);
+    EXPECT_FLOAT_EQ(gw[2], 0.0f);  // row 1 untouched: zero, not NaN
     EXPECT_FLOAT_EQ(gw[4], 1.0f);  // row 2 from bag0
 }
 

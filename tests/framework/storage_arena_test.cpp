@@ -1,0 +1,158 @@
+/// StorageArena tests: bucket rounding, block recycling, stats accounting,
+/// cache-cap eviction, trim, and the Storage / Session::alloc integration
+/// (buffers released by dead tensors come back on the next allocation).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "framework/session.h"
+#include "framework/storage_arena.h"
+#include "framework/tensor.h"
+
+namespace mystique::fw {
+namespace {
+
+TEST(StorageArena, BucketRounding)
+{
+    EXPECT_EQ(StorageArena::bucket_bytes(0), 64);
+    EXPECT_EQ(StorageArena::bucket_bytes(1), 64);
+    EXPECT_EQ(StorageArena::bucket_bytes(64), 64);
+    EXPECT_EQ(StorageArena::bucket_bytes(65), 128);
+    EXPECT_EQ(StorageArena::bucket_bytes(1 << 20), 1 << 20);
+    EXPECT_EQ(StorageArena::bucket_bytes((1 << 20) + 1), 2 << 20);
+}
+
+TEST(StorageArena, FreshBlocksAreZeroed)
+{
+    StorageArena arena;
+    auto b = arena.acquire(256);
+    ASSERT_NE(b.data, nullptr);
+    EXPECT_EQ(b.capacity, 256);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(b.data[i], std::byte{0});
+    arena.release(b);
+}
+
+TEST(StorageArena, RecyclesWithinBucket)
+{
+    StorageArena arena;
+    auto b1 = arena.acquire(100); // bucket 128
+    std::byte* p = b1.data;
+    arena.release(b1);
+    auto b2 = arena.acquire(90); // same bucket
+    EXPECT_EQ(b2.data, p);
+    EXPECT_EQ(b2.capacity, 128);
+
+    const StorageArenaStats s = arena.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.returns, 1u);
+    EXPECT_EQ(s.bytes_outstanding, 128);
+    EXPECT_EQ(s.bytes_cached, 0);
+    arena.release(b2);
+}
+
+TEST(StorageArena, StatsTrackOutstandingAndCached)
+{
+    StorageArena arena;
+    auto a = arena.acquire(64);
+    auto b = arena.acquire(1000); // bucket 1024
+    EXPECT_EQ(arena.stats().bytes_outstanding, 64 + 1024);
+    EXPECT_EQ(arena.stats().peak_bytes_outstanding, 64 + 1024);
+    arena.release(b);
+    EXPECT_EQ(arena.stats().bytes_outstanding, 64);
+    EXPECT_EQ(arena.stats().bytes_cached, 1024);
+    EXPECT_EQ(arena.stats().peak_bytes_outstanding, 64 + 1024);
+    arena.release(a);
+    EXPECT_EQ(arena.stats().bytes_outstanding, 0);
+    EXPECT_EQ(arena.stats().bytes_cached, 64 + 1024);
+}
+
+TEST(StorageArena, ZeroByteAcquireIsNull)
+{
+    StorageArena arena;
+    auto b = arena.acquire(0);
+    EXPECT_EQ(b.data, nullptr);
+    EXPECT_EQ(b.capacity, 0);
+    arena.release(b); // no-op, must not crash
+    EXPECT_EQ(arena.stats().hits + arena.stats().misses, 0u);
+}
+
+TEST(StorageArena, CapEvictsInsteadOfCaching)
+{
+    StorageArena arena(/*max_cached_bytes=*/128);
+    auto small = arena.acquire(64);
+    auto big = arena.acquire(4096);
+    arena.release(small); // 64 <= 128: cached
+    arena.release(big);   // 64 + 4096 > 128: freed
+    const StorageArenaStats s = arena.stats();
+    EXPECT_EQ(s.returns, 1u);
+    EXPECT_EQ(s.heap_frees, 1u);
+    EXPECT_EQ(s.bytes_cached, 64);
+}
+
+TEST(StorageArena, TrimFreesCachedBlocks)
+{
+    StorageArena arena;
+    arena.release(arena.acquire(512));
+    EXPECT_GT(arena.stats().bytes_cached, 0);
+    arena.trim();
+    EXPECT_EQ(arena.stats().bytes_cached, 0);
+    // Next acquire is a fresh (zeroed) miss.
+    auto b = arena.acquire(512);
+    EXPECT_EQ(arena.stats().misses, 2u);
+    for (int i = 0; i < 512; ++i)
+        EXPECT_EQ(b.data[i], std::byte{0});
+    arena.release(b);
+}
+
+TEST(StorageArena, StorageRoutesThroughArena)
+{
+    auto arena = std::make_shared<StorageArena>();
+    {
+        Tensor t = Tensor::create({16, 16}, DType::kFloat32, /*materialize=*/true, arena);
+        EXPECT_TRUE(t.materialized());
+        EXPECT_EQ(arena->stats().misses, 1u);
+        EXPECT_EQ(arena->stats().bytes_outstanding,
+                  StorageArena::bucket_bytes(16 * 16 * 4));
+        t.f32()[0] = 42.0f;
+    }
+    // Tensor death returned the buffer.
+    EXPECT_EQ(arena->stats().bytes_outstanding, 0);
+    EXPECT_EQ(arena->stats().returns, 1u);
+
+    // Same-size re-create recycles it (contents intentionally NOT zeroed).
+    Tensor t2 = Tensor::create({16, 16}, DType::kFloat32, true, arena);
+    EXPECT_EQ(arena->stats().hits, 1u);
+}
+
+TEST(StorageArena, SessionAllocRecycles)
+{
+    SessionOptions opts;
+    opts.mode = ExecMode::kNumeric;
+    Session session(opts);
+    const uint64_t base_misses = session.arena().stats().misses;
+    { Tensor t = session.alloc({64, 64}); }
+    Tensor t2 = session.alloc({64, 64});
+    const StorageArenaStats s = session.arena().stats();
+    EXPECT_EQ(s.misses, base_misses + 1);
+    EXPECT_GE(s.hits, 1u);
+}
+
+TEST(StorageArena, ViewsShareStorageNotArenaBlocks)
+{
+    SessionOptions opts;
+    opts.mode = ExecMode::kNumeric;
+    Session session(opts);
+    Tensor t = session.alloc({4, 8});
+    Tensor v = t.view_as({8, 4});
+    EXPECT_EQ(t.impl()->storage->id(), v.impl()->storage->id());
+    const int64_t outstanding = session.arena().stats().bytes_outstanding;
+    // One storage → one arena block, shared by both handles.
+    EXPECT_EQ(outstanding, StorageArena::bucket_bytes(4 * 8 * 4));
+}
+
+} // namespace
+} // namespace mystique::fw
