@@ -40,20 +40,37 @@ main(int argc, char** argv)
     std::printf("obfuscated: %zu nodes, %d custom subtrees replaced by obf::proxy\n",
                 obf.size(), proxies);
 
-    // 3. Verify the obfuscated trace still reproduces performance.
+    // 3. Verify the obfuscated trace still reproduces performance.  The
+    //    obfuscated replay goes through the process-wide PlanCache so step 4
+    //    can reuse the very plan this replay built.
     core::ReplayConfig replay_cfg;
     replay_cfg.iterations = 3;
     core::Replayer original_replay(r0.trace, &r0.prof, replay_cfg);
-    core::Replayer obfuscated_replay(obf, nullptr, replay_cfg);
+    core::Replayer obfuscated_replay(
+        core::PlanCache::instance().get_or_build(obf, &r0.prof, replay_cfg), replay_cfg);
     const double t_orig = original_replay.run().mean_iter_us;
     const double t_obf = obfuscated_replay.run().mean_iter_us;
     std::printf("replay: original trace %.2f ms vs obfuscated %.2f ms (%.1f%% apart)\n",
                 t_orig / 1e3, t_obf / 1e3, 100.0 * relative_error(t_obf, t_orig));
 
-    // 4. Package the shareable benchmark.
+    // 4. Package the shareable benchmark.  The plan comes from the cache
+    //    (zero rebuilds after step 3), and the manifest records the plan-key
+    //    fingerprints so the vendor can prove the package is untampered.
+    const core::PlanCacheStats before = core::PlanCache::instance().stats();
     const core::CodegenResult res =
         core::generate_benchmark(out_dir, obf, r0.prof, replay_cfg);
-    std::printf("benchmark package written to %s/ (%d files)\n", res.directory.c_str(),
-                res.files_written);
+    const core::PlanCacheStats after = core::PlanCache::instance().stats();
+    std::printf("benchmark package written to %s/ (%d files, %llu plan builds)\n",
+                res.directory.c_str(), res.files_written,
+                static_cast<unsigned long long>(after.misses - before.misses));
+
+    // 5. Prove the package verifies before shipping it.
+    const core::PackageVerification v = core::verify_package(out_dir);
+    if (!v.ok) {
+        for (const auto& e : v.errors)
+            std::fprintf(stderr, "package verification failed: %s\n", e.c_str());
+        return 1;
+    }
+    std::printf("package verified: manifest fingerprints match the packaged traces\n");
     return 0;
 }

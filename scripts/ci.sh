@@ -14,9 +14,16 @@ ctest --output-on-failure -j "$(nproc)"
 echo "== bench summaries =="
 ./bench_micro_plan_cache | grep -E "micro_plan_cache_json:|^OK:|^FAIL:"
 ./bench_micro_arena | grep -E "micro_arena_json:|^OK:|^FAIL:"
+./bench_micro_codegen | grep -E "micro_codegen_json:|^OK:|^FAIL:"
 
 # Read-before-write sentinel: recycled arena buffers are not zeroed, so run
 # the suite once with poisoned recycling (0xFF fill) to flush any kernel that
 # reads an output buffer before writing it.
 echo "== poisoned-arena test pass =="
 MYST_ARENA_POISON=1 ctest --output-on-failure -j "$(nproc)"
+
+# Docs must not drift from the code: every env var, symbol, and file path
+# referenced from README.md / docs/ has to exist in the tree.
+echo "== doc-link check =="
+cd ..
+./scripts/check_docs.sh

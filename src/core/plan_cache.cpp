@@ -65,6 +65,28 @@ PlanCache::get_or_build(const et::ExecutionTrace& trace, const prof::ProfilerTra
     }
 }
 
+bool
+PlanCache::insert(std::shared_ptr<const ReplayPlan> plan)
+{
+    MYST_CHECK(plan != nullptr);
+    // Borrowed one-shot plans skip the trace/supported-set hashes; caching
+    // one would serve it for *every* trace.  (A full key with both hashes
+    // genuinely zero is a ~2^-128 event.)
+    MYST_CHECK_MSG(plan->key().trace_fp != 0 || plan->key().supported_fp != 0,
+                   "refusing to cache a plan with a partial (borrowed-build) key");
+    const PlanKey key = plan->key();
+
+    std::promise<std::shared_ptr<const ReplayPlan>> promise;
+    promise.set_value(std::move(plan));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.find(key) != entries_.end())
+        return false;
+    entries_[key] = Entry{promise.get_future().share(), /*ready=*/true, ++tick_};
+    evict_excess_locked();
+    return true;
+}
+
 std::shared_ptr<const ReplayPlan>
 PlanCache::lookup(const PlanKey& key) const
 {

@@ -60,6 +60,16 @@ class PlanCache {
     /// miss or while the key's build is still in flight.
     std::shared_ptr<const ReplayPlan> lookup(const PlanKey& key) const;
 
+    /// Seeds the cache with an already-built plan under its own key — the
+    /// package-import path: a plan deserialized from a package's
+    /// replay_plan.json (ReplayPlan::from_json) makes every later
+    /// get_or_build of the packaged trace a pure hit, so importing a shared
+    /// benchmark never re-runs the build phase.  Returns false (and keeps
+    /// the existing entry) when the key is already present.  Counted as
+    /// neither hit nor miss.  Rejects plans with partial keys (the borrowed
+    /// one-shot path) — only build()/from_json() plans carry full identity.
+    bool insert(std::shared_ptr<const ReplayPlan> plan);
+
     PlanCacheStats stats() const;
 
     /// Drops every completed entry and zeroes the counters (tests).

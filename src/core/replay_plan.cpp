@@ -1,6 +1,7 @@
 #include "core/replay_plan.h"
 
 #include <algorithm>
+#include <charconv>
 #include <mutex>
 #include <unordered_map>
 
@@ -9,6 +10,42 @@
 #include "framework/op_registry.h"
 
 namespace mystique::core {
+
+namespace {
+
+/// Fingerprints cross the JSON boundary as decimal strings: Json integers
+/// are signed 64-bit, and a hash with the high bit set must not come back
+/// sign-mangled (or, worse, re-printed differently by another tool).
+Json
+fp_json(uint64_t fp)
+{
+    return Json(std::to_string(fp));
+}
+
+uint64_t
+fp_parse(const Json& j, std::string_view key)
+{
+    const std::string& s = j.at(key).as_string();
+    uint64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        MYST_THROW(ParseError, "plan json: bad fingerprint '" + s + "'");
+    return v;
+}
+
+dev::OpCategory
+category_from_name(const std::string& name)
+{
+    for (dev::OpCategory c : {dev::OpCategory::kATen, dev::OpCategory::kComm,
+                              dev::OpCategory::kFused, dev::OpCategory::kCustom,
+                              dev::OpCategory::kOther}) {
+        if (name == dev::to_string(c))
+            return c;
+    }
+    MYST_THROW(ParseError, "plan json: unknown op category '" + name + "'");
+}
+
+} // namespace
 
 uint64_t
 ReplayConfig::fingerprint() const
@@ -31,6 +68,121 @@ ReplayConfig::fingerprint() const
         h.mix(name);
     h.mix_pod(emulate_world_size);
     return h.value();
+}
+
+Json
+ReplayConfig::to_json() const
+{
+    Json j = Json::object();
+    j.set("platform", Json(platform));
+    j.set("mode", Json(mode == fw::ExecMode::kNumeric ? "numeric" : "shape_only"));
+    j.set("warmup_iterations", Json(warmup_iterations));
+    j.set("iterations", Json(iterations));
+    j.set("seed", Json(seed));
+    j.set("power_limit_w", power_limit_w.has_value() ? Json(*power_limit_w) : Json());
+    Json filter_j = Json::object();
+    filter_j.set("subtrace_root",
+                 filter.subtrace_root.has_value() ? Json(*filter.subtrace_root) : Json());
+    filter_j.set("only_category", filter.only_category.has_value()
+                                      ? Json(dev::to_string(*filter.only_category))
+                                      : Json());
+    j.set("filter", std::move(filter_j));
+    Json emb_j = Json::object();
+    emb_j.set("distribution",
+              Json(embedding.distribution == EmbeddingGenConfig::Distribution::kZipf
+                       ? "zipf"
+                       : "uniform"));
+    emb_j.set("zipf_s", Json(embedding.zipf_s));
+    j.set("embedding", std::move(emb_j));
+    // registered() merges op names and namespace prefixes; the "::" suffix
+    // distinguishes them, so one sorted list round-trips both.
+    std::vector<std::string> custom = custom_ops.registered();
+    std::sort(custom.begin(), custom.end());
+    Json custom_j = Json::array();
+    for (const auto& name : custom)
+        custom_j.push_back(Json(name));
+    j.set("custom_ops", std::move(custom_j));
+    j.set("emulate_world_size", Json(emulate_world_size));
+    j.set("collect_profiler", Json(collect_profiler));
+    return j;
+}
+
+ReplayConfig
+ReplayConfig::from_json(const Json& j)
+{
+    ReplayConfig cfg;
+    cfg.platform = j.at("platform").as_string();
+    const std::string& mode = j.at("mode").as_string();
+    if (mode != "numeric" && mode != "shape_only")
+        MYST_THROW(ParseError, "replay config json: unknown mode '" + mode + "'");
+    cfg.mode = mode == "numeric" ? fw::ExecMode::kNumeric : fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = static_cast<int>(j.at("warmup_iterations").as_int());
+    cfg.iterations = static_cast<int>(j.at("iterations").as_int());
+    cfg.seed = static_cast<uint64_t>(j.at("seed").as_int());
+    cfg.power_limit_w.reset();
+    if (!j.at("power_limit_w").is_null())
+        cfg.power_limit_w = j.at("power_limit_w").as_double();
+    const Json& filter_j = j.at("filter");
+    if (!filter_j.at("subtrace_root").is_null())
+        cfg.filter.subtrace_root = filter_j.at("subtrace_root").as_string();
+    if (!filter_j.at("only_category").is_null())
+        cfg.filter.only_category =
+            category_from_name(filter_j.at("only_category").as_string());
+    const Json& emb_j = j.at("embedding");
+    const std::string& dist = emb_j.at("distribution").as_string();
+    if (dist != "zipf" && dist != "uniform")
+        MYST_THROW(ParseError, "replay config json: unknown distribution '" + dist + "'");
+    cfg.embedding.distribution = dist == "zipf" ? EmbeddingGenConfig::Distribution::kZipf
+                                                : EmbeddingGenConfig::Distribution::kUniform;
+    cfg.embedding.zipf_s = emb_j.at("zipf_s").as_double();
+    cfg.custom_ops = CustomOpRegistry::empty();
+    for (const Json& name : j.at("custom_ops").as_array()) {
+        const std::string& n = name.as_string();
+        if (n.size() >= 2 && n.compare(n.size() - 2, 2, "::") == 0)
+            cfg.custom_ops.register_namespace(n);
+        else
+            cfg.custom_ops.register_op(n);
+    }
+    cfg.emulate_world_size = static_cast<int>(j.at("emulate_world_size").as_int());
+    cfg.collect_profiler = j.at("collect_profiler").as_bool();
+    return cfg;
+}
+
+Json
+PlanKey::to_json() const
+{
+    Json j = Json::object();
+    if (is_partial()) {
+        // One-shot builds carry only the components the executor checks;
+        // say so instead of presenting zeros as legitimate hashes.
+        j.set("partial", Json(true));
+        j.set("config_fp", fp_json(config_fp));
+        j.set("has_prof", Json(has_prof));
+        return j;
+    }
+    j.set("trace_fp", fp_json(trace_fp));
+    j.set("supported_fp", fp_json(supported_fp));
+    j.set("config_fp", fp_json(config_fp));
+    j.set("prof_fp", fp_json(prof_fp));
+    j.set("has_prof", Json(has_prof));
+    return j;
+}
+
+PlanKey
+PlanKey::from_json(const Json& j)
+{
+    PlanKey key;
+    if (j.get_bool("partial", false)) {
+        key.config_fp = fp_parse(j, "config_fp");
+        key.has_prof = j.at("has_prof").as_bool();
+        return key;
+    }
+    key.trace_fp = fp_parse(j, "trace_fp");
+    key.supported_fp = fp_parse(j, "supported_fp");
+    key.config_fp = fp_parse(j, "config_fp");
+    key.prof_fp = fp_parse(j, "prof_fp");
+    key.has_prof = j.at("has_prof").as_bool();
+    return key;
 }
 
 std::size_t
@@ -174,6 +326,163 @@ ReplayPlan::build_impl(const et::ExecutionTrace* borrowed, const et::ExecutionTr
                 }
             }
         }
+        plan->ops_.push_back(std::move(op));
+    }
+    return plan;
+}
+
+namespace {
+
+const char*
+kind_name(ReconstructedOp::Kind kind)
+{
+    switch (kind) {
+      case ReconstructedOp::Kind::kCompiledIr: return "compiled_ir";
+      case ReconstructedOp::Kind::kDirect: return "direct";
+      case ReconstructedOp::Kind::kSkipped: return "skipped";
+    }
+    return "?";
+}
+
+Json
+coverage_to_json(const CoverageStats& cov)
+{
+    Json j = Json::object();
+    j.set("selected_ops", Json(cov.selected_ops));
+    j.set("supported_ops", Json(cov.supported_ops));
+    j.set("count_fraction", Json(cov.count_fraction));
+    j.set("time_fraction", Json(cov.time_fraction));
+    Json unsupported = Json::object();
+    for (const auto& [name, count] : cov.unsupported_by_name)
+        unsupported.set(name, Json(count));
+    j.set("unsupported_by_name", std::move(unsupported));
+    j.set("unsupported_kernel_us", Json(cov.unsupported_kernel_us));
+    j.set("unsupported_exposed_us", Json(cov.unsupported_exposed_us));
+    return j;
+}
+
+CoverageStats
+coverage_from_json(const Json& j)
+{
+    CoverageStats cov;
+    cov.selected_ops = j.at("selected_ops").as_int();
+    cov.supported_ops = j.at("supported_ops").as_int();
+    cov.count_fraction = j.at("count_fraction").as_double();
+    cov.time_fraction = j.at("time_fraction").as_double();
+    for (const auto& [name, count] : j.at("unsupported_by_name").as_object())
+        cov.unsupported_by_name[name] = count.as_int();
+    cov.unsupported_kernel_us = j.at("unsupported_kernel_us").as_double();
+    cov.unsupported_exposed_us = j.at("unsupported_exposed_us").as_double();
+    return cov;
+}
+
+} // namespace
+
+Json
+ReplayPlan::to_json() const
+{
+    Json j = Json::object();
+    j.set("key", key_.to_json());
+    j.set("coverage", coverage_to_json(coverage_));
+
+    Json sel_ops = Json::array();
+    for (const SelectedOp& sel : selection_.ops) {
+        Json s = Json::object();
+        s.set("node_id", Json(sel.node_id));
+        s.set("supported", Json(sel.supported));
+        sel_ops.push_back(std::move(s));
+    }
+    Json subtrees = Json::array();
+    for (const auto& [root, ids] : selection_.subtree_ids) {
+        Json s = Json::object();
+        s.set("root", Json(root));
+        Json nodes = Json::array();
+        for (int64_t id : ids)
+            nodes.push_back(Json(id));
+        s.set("nodes", std::move(nodes));
+        subtrees.push_back(std::move(s));
+    }
+    Json selection_j = Json::object();
+    selection_j.set("ops", std::move(sel_ops));
+    selection_j.set("subtrees", std::move(subtrees));
+    j.set("selection", std::move(selection_j));
+
+    Json ops = Json::array();
+    for (const ReconstructedOp& op : ops_) {
+        Json o = Json::object();
+        o.set("node_id", Json(op.node->id));
+        o.set("name", Json(op.node->name));
+        o.set("tid", Json(static_cast<int64_t>(op.node->tid)));
+        o.set("kind", Json(kind_name(op.kind)));
+        if (op.stream.has_value())
+            o.set("stream", Json(static_cast<int64_t>(*op.stream)));
+        if (!op.ir_text.empty())
+            o.set("ir", Json(op.ir_text));
+        ops.push_back(std::move(o));
+    }
+    j.set("ops", std::move(ops));
+    return j;
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::from_json(const Json& j, const et::ExecutionTrace& trace)
+{
+    fw::ensure_ops_registered();
+    auto plan = std::shared_ptr<ReplayPlan>(new ReplayPlan());
+    plan->owned_trace_ = trace; // self-contained, like build()
+    plan->trace_ = &plan->owned_trace_;
+    plan->key_ = PlanKey::from_json(j.at("key"));
+    // Only full-provenance documents deserialize: a partial key means this
+    // JSON is a one-shot Replayer dump (plan_to_json for inspection), not a
+    // generate_benchmark package — a plan rebuilt from it could never be
+    // verified or cached under its true identity.
+    if (plan->key_.is_partial())
+        MYST_THROW(ParseError,
+                   "plan json: partial key (one-shot Replayer dump) — only plans "
+                   "from generate_benchmark packages carry full provenance");
+    plan->coverage_ = coverage_from_json(j.at("coverage"));
+
+    const Json& selection_j = j.at("selection");
+    for (const Json& s : selection_j.at("ops").as_array()) {
+        const int64_t node_id = s.at("node_id").as_int();
+        const et::Node* node = plan->trace_->find(node_id);
+        if (node == nullptr)
+            MYST_THROW(ParseError, "plan json: selected node " + std::to_string(node_id) +
+                                       " is not in the trace");
+        plan->selection_.ops.push_back(
+            {node_id, s.at("supported").as_bool(), et::resolve_op_id(*node)});
+    }
+    for (const Json& s : selection_j.at("subtrees").as_array()) {
+        std::vector<int64_t>& ids = plan->selection_.subtree_ids[s.at("root").as_int()];
+        for (const Json& id : s.at("nodes").as_array())
+            ids.push_back(id.as_int());
+    }
+
+    const Json::Array& ops_j = j.at("ops").as_array();
+    if (ops_j.size() != plan->selection_.ops.size())
+        MYST_THROW(ParseError, "plan json: ops/selection length mismatch");
+    plan->ops_.reserve(ops_j.size());
+    for (std::size_t i = 0; i < ops_j.size(); ++i) {
+        const Json& o = ops_j[i];
+        const SelectedOp& sel = plan->selection_.ops[i];
+        if (o.at("node_id").as_int() != sel.node_id)
+            MYST_THROW(ParseError, "plan json: ops/selection order mismatch");
+        const et::Node* node = plan->trace_->find(sel.node_id);
+        // Compiled-IR callables cannot be serialized; regenerate them from
+        // the trace's recorded schemas (deterministic given the registry).
+        ReconstructedOp op = plan->reconstructor_.reconstruct(*node, sel.supported);
+        // A kind drift means this process's op registry / custom-op set does
+        // not match the one the plan was generated under — replaying anyway
+        // would silently execute a different benchmark.
+        if (std::string(kind_name(op.kind)) != o.at("kind").as_string())
+            MYST_THROW(MystiqueError,
+                       "plan json: node " + std::to_string(sel.node_id) + " ('" +
+                           node->name + "') reconstructs as " + kind_name(op.kind) +
+                           " but the plan was generated with " +
+                           o.at("kind").as_string() +
+                           " — op registry mismatch with the generating process");
+        if (const Json* stream = o.find("stream"))
+            op.stream = static_cast<int>(stream->as_int());
         plan->ops_.push_back(std::move(op));
     }
     return plan;

@@ -73,6 +73,12 @@ struct ReplayConfig {
     /// warmup_iterations, seed, power_limit_w, collect_profiler — are
     /// deliberately excluded so they cannot fragment the plan cache.
     uint64_t fingerprint() const;
+
+    /// Full round-trip serialization (every field, harness knobs included) —
+    /// generated benchmark packages embed the config in manifest.json so a
+    /// consumer can re-derive the exact plan key the package was built under.
+    Json to_json() const;
+    static ReplayConfig from_json(const Json& j);
 };
 
 /// The composite plan-cache key.  All components are name/value-based hashes
@@ -99,6 +105,20 @@ struct PlanKey {
     bool has_prof = false; ///< disambiguates "no prof" from an empty prof
 
     bool operator==(const PlanKey&) const = default;
+
+    /// True for the key of a borrowed one-shot build (direct Replayer
+    /// construction), which skips the O(trace) structural hash and the
+    /// supported-set hash nothing on that path consumes.  (A *full* key with
+    /// both hashes genuinely zero is a ~2^-128 event.)
+    bool is_partial() const { return trace_fp == 0 && supported_fp == 0; }
+
+    /// Manifest / replay_plan.json serialization.  Fingerprints are emitted
+    /// as decimal strings (JSON integers are signed 64-bit; the high bit of a
+    /// hash must survive the round trip unmangled).  Partial keys serialize
+    /// with an explicit `"partial": true` marker and only their set fields —
+    /// never as fake zero-valued fingerprints.
+    Json to_json() const;
+    static PlanKey from_json(const Json& j);
 };
 
 struct PlanKeyHash {
@@ -155,6 +175,21 @@ class ReplayPlan {
     static std::shared_ptr<const ReplayPlan>
     build_with_key(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
                    const ReplayConfig& cfg, const PlanKey& key);
+
+    /// Serializes the plan — key, selection, coverage, and every
+    /// reconstructed op (kind, stream assignment, generated IR text) — as the
+    /// `replay_plan.json` document of a generated benchmark package.
+    Json to_json() const;
+
+    /// Rebuilds a plan from to_json() output against @p trace (the packaged
+    /// `execution_trace.json`).  Selection, coverage, the key, and stream
+    /// assignments are restored verbatim from the JSON; compiled-IR callables
+    /// are regenerated from the trace's recorded schemas (deterministic, so
+    /// `from_json(plan.to_json(), trace)->to_json() == plan.to_json()`).
+    /// The plan copies @p trace, as build() does.  Throws ParseError /
+    /// MystiqueError when the JSON references nodes absent from the trace.
+    static std::shared_ptr<const ReplayPlan> from_json(const Json& j,
+                                                       const et::ExecutionTrace& trace);
 
   private:
     ReplayPlan() = default;

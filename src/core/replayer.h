@@ -85,13 +85,22 @@ class Replayer {
     /// Generated IR text per replayed ATen node (for codegen/inspection).
     const std::vector<ReconstructedOp>& reconstructed() const { return plan_->ops(); }
 
-    /// Replays N traces on N rank threads sharing one fabric.  Trace count
-    /// may be smaller than the original world size when combined with
-    /// emulate_world_size (scale-down, §7.3).  Each rank thread fetches its
-    /// plan through the process-wide PlanCache: ranks whose traces are
+    /// Replays N traces on N concurrent rank tasks sharing one fabric.
+    /// Trace count may be smaller than the original world size when combined
+    /// with emulate_world_size (scale-down, §7.3).  Each rank task fetches
+    /// its plan through the process-wide PlanCache: ranks whose traces are
     /// structurally identical (the scale-down and data-parallel cases) share
     /// one plan read-only — built exactly once — while structurally distinct
     /// ranks build their plans in parallel.
+    ///
+    /// Rank tasks run on a process-wide shared ThreadPool (grown to the
+    /// largest world size seen, then reused across calls), and each rank
+    /// slot's Session is cached: repeated distributed replays rewind it with
+    /// reset_for_replay() — keeping the rank's StorageArena warm — instead
+    /// of paying a thread spawn plus a cold session per rank per call.
+    /// Results are bit-identical to per-call ad-hoc threads and sessions
+    /// (enforced in tests/core/plan_cache_test.cpp); concurrent
+    /// run_distributed calls serialize on the shared pool.
     static std::vector<ReplayResult>
     run_distributed(const std::vector<const et::ExecutionTrace*>& traces,
                     const std::vector<const prof::ProfilerTrace*>& profs, ReplayConfig cfg,

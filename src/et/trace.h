@@ -65,7 +65,13 @@ class ExecutionTrace {
     /// Operator count by category (wrappers excluded).
     std::unordered_map<dev::OpCategory, int64_t> count_by_category() const;
 
-    /// Serialization.
+    /// Serialization.  Round-tripping through JSON (in memory or on disk)
+    /// preserves both fingerprints below bit-exactly — benchmark-package
+    /// provenance depends on it: core::verify_package re-hashes the packaged
+    /// execution_trace.json and compares against the manifest, so any field
+    /// the fingerprints cover must survive save → load unchanged (doubles
+    /// are emitted in shortest round-trip-safe form by common/json.h).
+    /// Enforced by tests/et/trace_test.cpp.
     Json to_json() const;
     static ExecutionTrace from_json(const Json& j);
     void save(const std::string& path) const;

@@ -14,6 +14,8 @@
 #include "core/plan_cache.h"
 #include "core/replay_driver.h"
 #include "core/replayer.h"
+#include "device/platform.h"
+#include "framework/session.h"
 #include "workloads/harness.h"
 
 namespace mystique::core {
@@ -336,6 +338,67 @@ TEST(RunDistributed, EquivalentRanksShareOnePlan)
     EXPECT_GT(reps[0].mean_iter_us, 0.0);
     EXPECT_NEAR(reps[0].mean_iter_us, reps[1].mean_iter_us,
                 reps[0].mean_iter_us * 0.05);
+}
+
+TEST(RunDistributed, PooledRanksBitIdenticalToAdHocThreadBaseline)
+{
+    wl::RunConfig cfg = tiny_cfg();
+    cfg.world_size = 2;
+    const wl::RunResult orig = wl::run_original("param_linear", tiny_opts(), cfg);
+    std::vector<const et::ExecutionTrace*> traces;
+    std::vector<const prof::ProfilerTrace*> profs;
+    for (const auto& r : orig.ranks) {
+        traces.push_back(&r.trace);
+        profs.push_back(&r.prof);
+    }
+    const int world = static_cast<int>(traces.size());
+    const ReplayConfig rcfg = tiny_replay();
+
+    // Baseline: the pre-pool implementation — one ad-hoc std::thread and a
+    // freshly constructed, cold Session per rank per call.
+    auto fabric = std::make_shared<comm::CommFabric>(world);
+    std::vector<ReplayResult> baseline(static_cast<std::size_t>(world));
+    std::vector<std::thread> threads;
+    for (int rank = 0; rank < world; ++rank) {
+        threads.emplace_back([&, rank] {
+            const auto plan = PlanCache::instance().get_or_build(
+                *traces[static_cast<std::size_t>(rank)],
+                profs[static_cast<std::size_t>(rank)], rcfg);
+            fw::SessionOptions opts;
+            opts.platform = dev::platform(rcfg.platform);
+            opts.mode = rcfg.mode;
+            opts.seed = rcfg.seed;
+            opts.rank = rank;
+            opts.world_size = world;
+            opts.power_limit_w = rcfg.power_limit_w;
+            opts.dispatch = fw::DispatchProfile::replay();
+            fw::Session session(opts);
+            Replayer replayer(plan, rcfg);
+            baseline[static_cast<std::size_t>(rank)] = replayer.run_with(session, fabric);
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    // Pooled path, twice: the first call may build pool threads and sessions,
+    // the second reuses both (sessions rewound via reset_for_replay, arenas
+    // kept) — every call must be bit-identical to the ad-hoc baseline.
+    for (int call = 0; call < 2; ++call) {
+        const auto pooled = Replayer::run_distributed(traces, profs, rcfg);
+        ASSERT_EQ(pooled.size(), baseline.size());
+        for (std::size_t rank = 0; rank < pooled.size(); ++rank) {
+            const ReplayResult& p = pooled[rank];
+            const ReplayResult& b = baseline[rank];
+            EXPECT_EQ(p.mean_iter_us, b.mean_iter_us) << "call " << call << " rank "
+                                                      << rank;
+            ASSERT_EQ(p.iter_us.size(), b.iter_us.size());
+            for (std::size_t i = 0; i < p.iter_us.size(); ++i)
+                EXPECT_EQ(p.iter_us[i], b.iter_us[i])
+                    << "call " << call << " rank " << rank << " iter " << i;
+            EXPECT_EQ(p.prof.kernels().size(), b.prof.kernels().size());
+            EXPECT_EQ(p.coverage.selected_ops, b.coverage.selected_ops);
+        }
+    }
 }
 
 TEST(ReplayDriver, SweepsDatabaseWithWeightedGroups)

@@ -301,10 +301,11 @@ TEST(Codegen, WritesBenchmarkPackage)
     std::filesystem::remove_all(dir);
     const CodegenResult res =
         generate_benchmark(dir, orig.rank0().trace, orig.rank0().prof, tiny_replay());
-    EXPECT_EQ(res.files_written, 5);
+    EXPECT_EQ(res.files_written, 6);
     EXPECT_TRUE(std::filesystem::exists(dir + "/execution_trace.json"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/profiler_trace.json"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/replay_plan.json"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/manifest.json"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/benchmark_main.cpp"));
     EXPECT_TRUE(std::filesystem::exists(dir + "/README.md"));
     // The saved ET replays identically to the in-memory one.

@@ -136,6 +136,38 @@ TEST(ExecutionTrace, SaveLoadRoundTrip)
     EXPECT_EQ(back.meta().process_groups.at(0), (std::vector<int>{0, 1, 2}));
 }
 
+TEST(ExecutionTrace, FingerprintsSurviveDiskRoundTrip)
+{
+    // Benchmark-package provenance depends on this: core::verify_package
+    // re-hashes the packaged execution_trace.json and compares against the
+    // fingerprints recorded at generation time, so save → load must change
+    // nothing either fingerprint covers — including awkward doubles.
+    ExecutionTrace t;
+    t.meta().workload = "fp_roundtrip";
+    t.meta().world_size = 4;
+    t.meta().process_groups[0] = {0, 1, 2, 3};
+    Node n = op_node(0, "aten::addmm");
+    n.inputs.push_back(Argument::from_tensor(meta(1, {128, 256})));
+    n.inputs.push_back(Argument::from_double(1.0 / 3.0));
+    n.inputs.push_back(Argument::from_double(0.1));
+    n.inputs.push_back(Argument::from_int_list({9007199254740993, -1}));
+    n.outputs.push_back(Argument::from_tensor(meta(2, {128, 256})));
+    t.add_node(std::move(n));
+    t.add_node(op_node(1, "aten::relu"));
+
+    const std::string path = testing::TempDir() + "/trace_fp_roundtrip.json";
+    t.save(path);
+    const ExecutionTrace back = ExecutionTrace::load(path);
+    EXPECT_EQ(back.structural_fingerprint(), t.structural_fingerprint());
+    EXPECT_EQ(back.fingerprint(), t.fingerprint());
+
+    // And a second generation (load → save → load) stays fixed too.
+    const std::string path2 = testing::TempDir() + "/trace_fp_roundtrip2.json";
+    back.save(path2);
+    EXPECT_EQ(ExecutionTrace::load(path2).structural_fingerprint(),
+              t.structural_fingerprint());
+}
+
 TEST(ExecutionTrace, FingerprintStableUnderReorderOfCounts)
 {
     ExecutionTrace a, b;
