@@ -1,0 +1,168 @@
+/// @file
+/// Micro-benchmark and regression gate for the disk-backed PlanCache tier.
+///
+/// Three measurements, printed human-readably plus one JSON summary line
+/// (`micro_plan_disk_json: {...}`) that scripts/ci.sh surfaces:
+///
+///   1. cold      — full ReplayPlan::build, the price a process restart used
+///                  to pay per distinct group (same baseline shape as
+///                  micro_plan_cache);
+///   2. mem hit   — PlanCache::get_or_build served from the memory tier with
+///                  the disk tier *configured*: the tier must be free when
+///                  the memory tier already has the plan;
+///   3. disk hit  — a fresh PlanCache (≈ a fresh process) resolving the same
+///                  key from the on-disk store: one parse + reconstruct, no
+///                  selection/coverage/stream pass, zero plan builds.
+///
+/// Exits nonzero unless a disk hit is ≥5x cheaper than a cold build, the
+/// memory hit stays ≥10x cheaper than cold (the micro_plan_cache bar — the
+/// disk tier must not tax it), disk fetches perform zero builds, and the
+/// build wrote back exactly once.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "core/plan_cache.h"
+#include "core/plan_store.h"
+
+namespace {
+
+using namespace mystique;
+using bench::now_us;
+
+} // namespace
+
+int
+main()
+{
+    namespace fs = std::filesystem;
+    bench::print_header("micro_plan_disk: disk-backed plan tier vs cold builds");
+
+    // resnet: the deepest per-op reconstruction cost of the workload set
+    // (conv schemas), and heavy op repetition across layers — the shape the
+    // tier exploits, since a disk hit compiles each *distinct* recorded IR
+    // once while a cold build reconstructs every op from its schema.
+    wl::RunConfig run_cfg;
+    run_cfg.mode = fw::ExecMode::kShapeOnly;
+    run_cfg.warmup_iterations = 1;
+    run_cfg.iterations = 2;
+    wl::WorkloadOptions tiny;
+    tiny.preset = wl::Preset::kTiny;
+    const wl::RunResult traced = wl::run_original("resnet", tiny, run_cfg);
+    const et::ExecutionTrace& trace = traced.rank0().trace;
+    const prof::ProfilerTrace& prof = traced.rank0().prof;
+
+    core::ReplayConfig cfg = bench::bench_replay_config();
+    cfg.iterations = 2;
+
+    const std::string dir =
+        (fs::temp_directory_path() / ("myst_micro_plan_disk_" + std::to_string(::getpid())))
+            .string();
+    struct DirGuard {
+        std::string d;
+        ~DirGuard()
+        {
+            std::error_code ec;
+            fs::remove_all(d, ec);
+        }
+    } guard{dir};
+
+    // ---- 1. cold build (the restart price without the tier) ---------------
+    constexpr int kColdReps = 7;
+    double cold_us = 1e300;
+    for (int i = 0; i < kColdReps; ++i) {
+        const double t0 = now_us();
+        auto plan = core::ReplayPlan::build(trace, &prof, cfg);
+        const double dt = now_us() - t0;
+        if (plan->ops().empty())
+            return 1;
+        if (dt < cold_us)
+            cold_us = dt;
+    }
+
+    // ---- 2. memory hit with the disk tier configured ----------------------
+    core::PlanCache warm_cache(16);
+    warm_cache.set_store_dir(dir);
+    (void)warm_cache.get_or_build(trace, &prof, cfg); // miss: build + writeback
+    warm_cache.flush_writebacks();
+    constexpr int kHitReps = 2000;
+    const double h0 = now_us();
+    for (int i = 0; i < kHitReps; ++i) {
+        if (warm_cache.get_or_build(trace, &prof, cfg) == nullptr)
+            return 1;
+    }
+    const double mem_hit_us = (now_us() - h0) / kHitReps;
+    const core::PlanCacheStats warm_stats = warm_cache.stats();
+
+    // ---- 3. disk hit on fresh caches (the restart price with the tier) ----
+    constexpr int kDiskReps = 15;
+    double disk_hit_us = 1e300;
+    uint64_t disk_builds = 0;
+    for (int i = 0; i < kDiskReps; ++i) {
+        core::PlanCache fresh(16);
+        fresh.set_store_dir(dir);
+        const double t0 = now_us();
+        auto plan = fresh.get_or_build(trace, &prof, cfg);
+        const double dt = now_us() - t0;
+        if (plan == nullptr || plan->ops().empty())
+            return 1;
+        disk_builds += fresh.stats().builds;
+        if (dt < disk_hit_us)
+            disk_hit_us = dt;
+    }
+
+    const double disk_speedup = disk_hit_us > 0.0 ? cold_us / disk_hit_us : 1e9;
+    const double mem_speedup = mem_hit_us > 0.0 ? cold_us / mem_hit_us : 1e9;
+    std::printf("  %-36s %12.1f us\n", "cold plan build (resnet, best of 7)", cold_us);
+    std::printf("  %-36s %12.3f us   (%.0fx faster)\n",
+                "memory hit (disk tier configured)", mem_hit_us, mem_speedup);
+    std::printf("  %-36s %12.1f us   (%.1fx faster, 0 builds)\n",
+                "disk hit (fresh cache, best of 15)", disk_hit_us, disk_speedup);
+
+    Json j = Json::object();
+    j.set("cold_build_us", Json(cold_us));
+    j.set("mem_hit_us", Json(mem_hit_us));
+    j.set("disk_hit_us", Json(disk_hit_us));
+    j.set("disk_speedup", Json(disk_speedup));
+    j.set("mem_speedup", Json(mem_speedup));
+    std::printf("micro_plan_disk_json: %s\n", j.dump().c_str());
+
+    // ---- gates ------------------------------------------------------------
+    bool ok = true;
+    if (disk_hit_us * 5.0 >= cold_us) {
+        std::printf("FAIL: disk hit (%.1f us) is not >=5x cheaper than cold build "
+                    "(%.1f us)\n",
+                    disk_hit_us, cold_us);
+        ok = false;
+    }
+    if (mem_hit_us * 10.0 >= cold_us) {
+        std::printf("FAIL: memory hit (%.3f us) regressed below the micro_plan_cache "
+                    "bar (>=10x vs cold %.1f us) with the disk tier configured\n",
+                    mem_hit_us, cold_us);
+        ok = false;
+    }
+    if (warm_stats.hits < kHitReps || warm_stats.misses != 1 ||
+        warm_stats.disk_misses != 1 || warm_stats.builds != 1 ||
+        warm_stats.writebacks != 1) {
+        std::printf("FAIL: warm-cache accounting off (hits=%llu misses=%llu "
+                    "disk_misses=%llu builds=%llu writebacks=%llu)\n",
+                    static_cast<unsigned long long>(warm_stats.hits),
+                    static_cast<unsigned long long>(warm_stats.misses),
+                    static_cast<unsigned long long>(warm_stats.disk_misses),
+                    static_cast<unsigned long long>(warm_stats.builds),
+                    static_cast<unsigned long long>(warm_stats.writebacks));
+        ok = false;
+    }
+    if (disk_builds != 0) {
+        std::printf("FAIL: disk-hit fetches performed %llu plan builds (want 0)\n",
+                    static_cast<unsigned long long>(disk_builds));
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::printf("OK: disk hits are >=5x cheaper than cold builds (zero rebuilds) and "
+                "memory hits keep the >=10x micro_plan_cache bar\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/// Cross-process plan reuse driver for the CI gate in scripts/ci.sh.
+///
+/// Traces a deterministic multi-workload database (tiny presets, fixed
+/// seeds), sweeps it through `ReplayDriver` with `MYST_PLAN_CACHE_DIR`
+/// pointed at the directory given on the command line, and prints the sweep
+/// outcome plus the plan-cache counters.  Run twice in *separate processes*
+/// against one shared directory:
+///
+///   cross_process_sweep <store-dir> cold   # first process: builds + writes back
+///   cross_process_sweep <store-dir> warm   # second process: zero plan builds
+///
+/// The binary enforces its own phase contract (cold: every group built and
+/// persisted; warm: every group a disk hit, zero builds) and exits nonzero
+/// on violation; ci.sh additionally diffs the `result:` lines of the two
+/// runs, which carry the weighted mean with full precision — cross-process
+/// reuse must be bit-identical, not just build-free.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "core/replay_driver.h"
+#include "et/trace_db.h"
+#include "workloads/harness.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mystique;
+
+    if (argc != 3 ||
+        (std::strcmp(argv[2], "cold") != 0 && std::strcmp(argv[2], "warm") != 0)) {
+        std::fprintf(stderr, "usage: %s <plan-cache-dir> cold|warm\n", argv[0]);
+        return 2;
+    }
+    const bool cold = std::strcmp(argv[2], "cold") == 0;
+    // Through the environment on purpose: this drives the exact knob a fleet
+    // deployment would set, not a test-only injection path.
+    ::setenv("MYST_PLAN_CACHE_DIR", argv[1], 1);
+
+    // Deterministic database: same traces, fingerprints, and groups in every
+    // process (virtual-time simulation under fixed seeds).
+    wl::RunConfig run_cfg;
+    run_cfg.mode = fw::ExecMode::kShapeOnly;
+    run_cfg.warmup_iterations = 1;
+    run_cfg.iterations = 2;
+    run_cfg.seed = 7;
+    wl::WorkloadOptions tiny;
+    tiny.preset = wl::Preset::kTiny;
+    const wl::RunResult pl = wl::run_original("param_linear", tiny, run_cfg);
+    const wl::RunResult rm = wl::run_original("rm", tiny, run_cfg);
+    const wl::RunResult asr = wl::run_original("asr", tiny, run_cfg);
+
+    et::TraceDatabase db;
+    for (int i = 0; i < 3; ++i)
+        db.add(pl.rank0().trace);
+    for (int i = 0; i < 2; ++i)
+        db.add(rm.rank0().trace);
+    db.add(asr.rank0().trace);
+    std::vector<const prof::ProfilerTrace*> profs{&pl.rank0().prof, &pl.rank0().prof,
+                                                  &pl.rank0().prof, &rm.rank0().prof,
+                                                  &rm.rank0().prof, &asr.rank0().prof};
+
+    core::ReplayConfig cfg;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 2;
+
+    core::ReplayDriver driver(cfg); // process-wide PlanCache → two-tier
+    const core::DatabaseReplayResult sweep = driver.replay_groups(db, SIZE_MAX, &profs);
+    core::PlanCache::instance().flush_writebacks();
+    const core::PlanCacheStats s = core::PlanCache::instance().stats();
+
+    // %.17g: enough digits that two prints are equal iff the doubles are.
+    std::printf("result: groups=%zu weighted_mean_iter_us=%.17g population=%.17g\n",
+                sweep.groups.size(), sweep.weighted_mean_iter_us,
+                sweep.population_covered);
+    std::printf("cache: misses=%llu disk_hits=%llu disk_misses=%llu builds=%llu "
+                "writebacks=%llu\n",
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.disk_hits),
+                static_cast<unsigned long long>(s.disk_misses),
+                static_cast<unsigned long long>(s.builds),
+                static_cast<unsigned long long>(s.writebacks));
+
+    const auto groups = static_cast<unsigned long long>(sweep.groups.size());
+    if (sweep.groups.size() != 3 || sweep.population_covered < 0.999) {
+        std::fprintf(stderr, "FAIL: expected 3 fully-covering groups\n");
+        return 1;
+    }
+    if (cold) {
+        // First process: nothing on disk yet — every group builds, and every
+        // build must be persisted before exit so the next process can reuse it.
+        if (s.builds != groups || s.disk_hits != 0 || s.writebacks != groups) {
+            std::fprintf(stderr,
+                         "FAIL: cold phase expected builds=%llu writebacks=%llu\n",
+                         groups, groups);
+            return 1;
+        }
+    } else {
+        // Second process: the tentpole claim — zero plan builds, all disk hits.
+        if (s.builds != 0 || s.disk_hits != groups || s.writebacks != 0) {
+            std::fprintf(stderr,
+                         "FAIL: warm phase expected builds=0 disk_hits=%llu "
+                         "writebacks=0 (got builds=%llu disk_hits=%llu "
+                         "writebacks=%llu)\n",
+                         groups, static_cast<unsigned long long>(s.builds),
+                         static_cast<unsigned long long>(s.disk_hits),
+                         static_cast<unsigned long long>(s.writebacks));
+            return 1;
+        }
+    }
+    std::printf("OK: %s phase contract holds\n", cold ? "cold" : "warm");
+    return 0;
+}

@@ -15,6 +15,26 @@ echo "== bench summaries =="
 ./bench_micro_plan_cache | grep -E "micro_plan_cache_json:|^OK:|^FAIL:"
 ./bench_micro_arena | grep -E "micro_arena_json:|^OK:|^FAIL:"
 ./bench_micro_codegen | grep -E "micro_codegen_json:|^OK:|^FAIL:"
+./bench_micro_plan_disk | grep -E "micro_plan_disk_json:|^OK:|^FAIL:"
+
+# Cross-process plan reuse: two sweeps of the same database in SEPARATE
+# processes sharing one MYST_PLAN_CACHE_DIR.  The first builds and persists
+# every group's plan; the second must do zero plan builds (all disk hits)
+# and report bit-identical results — also under poisoned arena recycling.
+echo "== cross-process plan-store reuse =="
+plan_store_dir=$(mktemp -d)
+trap 'rm -rf "$plan_store_dir"' EXIT
+./example_cross_process_sweep "$plan_store_dir" cold | tee /tmp/myst_sweep_cold.txt
+./example_cross_process_sweep "$plan_store_dir" warm | tee /tmp/myst_sweep_warm.txt
+MYST_ARENA_POISON=1 ./example_cross_process_sweep "$plan_store_dir" warm \
+    | tee /tmp/myst_sweep_warm_poison.txt
+for f in /tmp/myst_sweep_warm.txt /tmp/myst_sweep_warm_poison.txt; do
+    if ! diff <(grep '^result:' /tmp/myst_sweep_cold.txt) <(grep '^result:' "$f"); then
+        echo "FAIL: cross-process sweep results diverged ($f)"
+        exit 1
+    fi
+done
+echo "cross-process reuse OK: second process did zero plan builds, results bit-identical"
 
 # Read-before-write sentinel: recycled arena buffers are not zeroed, so run
 # the suite once with poisoned recycling (0xFF fill) to flush any kernel that

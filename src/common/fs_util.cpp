@@ -1,0 +1,99 @@
+#include "common/fs_util.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/error.h"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace mystique {
+
+namespace {
+
+long
+process_id()
+{
+#ifdef _WIN32
+    return static_cast<long>(_getpid());
+#else
+    return static_cast<long>(::getpid());
+#endif
+}
+
+} // namespace
+
+void
+atomic_write_file(const std::string& path, std::string_view content)
+{
+    namespace fs = std::filesystem;
+    const fs::path target(path);
+
+    std::error_code ec;
+    if (target.has_parent_path())
+        fs::create_directories(target.parent_path(), ec); // ec: may already exist
+
+    // Unique per (process, write): two threads — or two processes — staging
+    // the same target never collide on the temp name, and each rename
+    // publishes a complete file.
+    static std::atomic<uint64_t> counter{0};
+    const fs::path tmp = target.string() + ".tmp." + std::to_string(process_id()) + "." +
+                         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            MYST_THROW(MystiqueError, "atomic_write_file: cannot open '" + tmp.string() +
+                                          "' for writing");
+        out.write(content.data(), static_cast<std::streamsize>(content.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            fs::remove(tmp, ec);
+            MYST_THROW(MystiqueError,
+                       "atomic_write_file: short write to '" + tmp.string() + "'");
+        }
+    }
+
+    fs::rename(tmp, target, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        MYST_THROW(MystiqueError, "atomic_write_file: cannot rename into '" + path + "'");
+    }
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        MYST_THROW(ParseError, "cannot open file '" + path + "'");
+    in.seekg(0, std::ios::end);
+    const std::streampos end = in.tellg();
+    if (end < 0)
+        MYST_THROW(ParseError, "cannot read file '" + path + "'");
+    std::string text(static_cast<std::size_t>(end), '\0');
+    in.seekg(0, std::ios::beg);
+    in.read(text.data(), static_cast<std::streamsize>(text.size()));
+    if (in.gcount() != static_cast<std::streamsize>(text.size()))
+        MYST_THROW(ParseError, "cannot read file '" + path + "'");
+    return text;
+}
+
+bool
+quarantine_file(const std::string& path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::rename(path, path + ".bad", ec); // overwrites an earlier .bad on POSIX
+    return !ec;
+}
+
+} // namespace mystique

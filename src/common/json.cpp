@@ -1,5 +1,7 @@
 #include "common/json.h"
 
+#include "common/fs_util.h"
+
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -359,26 +361,31 @@ class Parser {
         }
     }
 
+    // Members collect in a local container (one move into the Json at the
+    // end) — going through Json::as_object()/as_array() per element costs a
+    // type check and an extra indirection on the hottest parser loop.
+
     Json parse_object()
     {
         expect('{');
-        Json obj = Json::object();
+        Json::Object members;
         skip_ws();
         if (peek() == '}') {
             ++pos_;
-            return obj;
+            return Json(std::move(members));
         }
+        members.reserve(6); // typical trace/plan object width; skips 3 regrowths
         while (true) {
             skip_ws();
             std::string key = parse_string();
             skip_ws();
             expect(':');
             skip_ws();
-            obj.as_object().emplace_back(std::move(key), parse_value());
+            members.emplace_back(std::move(key), parse_value());
             skip_ws();
             char c = next();
             if (c == '}')
-                return obj;
+                return Json(std::move(members));
             if (c != ',')
                 fail("expected ',' or '}' in object");
         }
@@ -387,19 +394,19 @@ class Parser {
     Json parse_array()
     {
         expect('[');
-        Json arr = Json::array();
+        Json::Array elements;
         skip_ws();
         if (peek() == ']') {
             ++pos_;
-            return arr;
+            return Json(std::move(elements));
         }
         while (true) {
             skip_ws();
-            arr.as_array().push_back(parse_value());
+            elements.push_back(parse_value());
             skip_ws();
             char c = next();
             if (c == ']')
-                return arr;
+                return Json(std::move(elements));
             if (c != ',')
                 fail("expected ',' or ']' in array");
         }
@@ -411,7 +418,20 @@ class Parser {
             fail("expected string");
         ++pos_;
         std::string out;
+        // Bulk path: most strings contain no escapes, so scan to the next
+        // quote/backslash and append the whole span at once instead of
+        // byte-at-a-time — string-heavy documents (traces, plans with IR
+        // text) parse several times faster this way.
         while (true) {
+            const std::size_t span_start = pos_;
+            while (pos_ < text_.size()) {
+                const char s = text_[pos_];
+                if (s == '"' || s == '\\')
+                    break;
+                ++pos_;
+            }
+            if (pos_ > span_start)
+                out.append(text_.data() + span_start, pos_ - span_start);
             char c = next();
             if (c == '"')
                 return out;
@@ -442,9 +462,9 @@ class Parser {
                   }
                   default: fail("invalid escape");
                 }
-            } else {
-                out += c;
             }
+            // No third case: the bulk scan above stops only at '"' or '\\',
+            // and next() fails at end of input.
         }
     }
 
@@ -531,12 +551,7 @@ Json::parse(std::string_view text)
 Json
 Json::parse_file(const std::string& path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        MYST_THROW(ParseError, "cannot open file '" << path << "'");
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return parse(ss.str());
+    return parse(read_file(path));
 }
 
 void

@@ -109,4 +109,10 @@ format_us(double microseconds)
     return strprintf("%.2f us", microseconds);
 }
 
+std::string
+hex64(uint64_t value)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(value));
+}
+
 } // namespace mystique

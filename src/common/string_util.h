@@ -3,6 +3,7 @@
 /// @file
 /// String helpers shared by the schema parser, IR parser and formatters.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +29,10 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// printf-style formatting into a std::string.
 std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-width (16-digit, zero-padded) lowercase hex of a 64-bit value —
+/// the fingerprint spelling used in plan-store file names.
+std::string hex64(uint64_t value);
 
 /// Formats microseconds as a human-readable "12.34 ms" style string.
 std::string format_us(double microseconds);

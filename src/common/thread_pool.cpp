@@ -24,6 +24,13 @@ ThreadPool::~ThreadPool()
         t.join();
 }
 
+ThreadPool&
+ThreadPool::background()
+{
+    static ThreadPool pool(2);
+    return pool;
+}
+
 std::future<void>
 ThreadPool::submit(std::function<void()> fn)
 {

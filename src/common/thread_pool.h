@@ -37,6 +37,14 @@ class ThreadPool {
 
     std::size_t size() const { return threads_.size(); }
 
+    /// Process-wide pool for background work that must not block its
+    /// requester — plan-store disk writebacks ride here.  Lazily constructed
+    /// (2 threads: enough to overlap serialization with replay, small enough
+    /// to never contend with sweep workers).  Its function-local-static
+    /// destructor drains the queue at process exit, so fire-and-forget tasks
+    /// submitted anywhere before exit still complete.
+    static ThreadPool& background();
+
     /// Enqueues @p fn; the returned future becomes ready when it completes
     /// and rethrows any exception the task threw.  Throws std::runtime_error
     /// if the pool is already shutting down.

@@ -23,8 +23,10 @@
 /// trace that was just replayed (the generate_and_share flow, and every
 /// database-sweep representative) is a cache hit that performs zero plan
 /// builds, and the emitted `replay_plan.json` is the byte-exact serialization
-/// of the plan the replay actually ran.  See docs/package_format.md for the
-/// on-disk schema.
+/// of the plan the replay actually ran.  With a disk tier configured
+/// (MYST_PLAN_CACHE_DIR), even a fresh process packages an already-swept
+/// trace without building.  Package files are written atomically
+/// (common/fs_util.h).  See docs/package_format.md for the on-disk schema.
 ///
 /// ## Provenance manifest
 ///

@@ -1,7 +1,12 @@
 #include "core/plan_cache.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <utility>
+
+#include "common/thread_pool.h"
+#include "core/plan_store.h"
 
 namespace mystique::core {
 
@@ -9,11 +14,35 @@ PlanCache::PlanCache(std::size_t capacity) : capacity_(std::max<std::size_t>(cap
 {
 }
 
+PlanCache::~PlanCache()
+{
+    flush_writebacks();
+}
+
 PlanCache&
 PlanCache::instance()
 {
     static PlanCache cache;
     return cache;
+}
+
+std::shared_ptr<PlanStore>
+PlanCache::open_store() const
+{
+    std::string dir;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (store_override_.has_value()) {
+            dir = *store_override_;
+        } else {
+            // Read at use time like every other runtime knob (docs/env_vars.md).
+            const char* env = std::getenv("MYST_PLAN_CACHE_DIR");
+            dir = env != nullptr ? env : "";
+        }
+    }
+    if (dir.empty())
+        return nullptr;
+    return std::make_shared<PlanStore>(std::move(dir));
 }
 
 std::shared_ptr<const ReplayPlan>
@@ -45,23 +74,85 @@ PlanCache::get_or_build(const et::ExecutionTrace& trace, const prof::ProfilerTra
     if (!builder)
         return future.get();
 
-    // Builder path: construct outside the lock so unrelated keys (and their
-    // waiters) make progress concurrently.
+    // Builder path: resolve outside the lock so unrelated keys (and their
+    // waiters) make progress concurrently.  The disk tier goes first — a hit
+    // costs one parse instead of the whole selection+reconstruction pass —
+    // and anything wrong with the entry was quarantined inside load(), so a
+    // null return always means "build it".
+    const std::shared_ptr<PlanStore> store = open_store();
     try {
-        std::shared_ptr<const ReplayPlan> plan =
-            ReplayPlan::build_with_key(trace, prof, cfg, key);
+        std::shared_ptr<const ReplayPlan> plan;
+        bool disk_hit = false;
+        if (store != nullptr) {
+            plan = store->load(key, trace);
+            disk_hit = plan != nullptr;
+        }
+        if (plan == nullptr)
+            plan = ReplayPlan::build_with_key(trace, prof, cfg, key);
         promise.set_value(plan);
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = entries_.find(key);
-        if (it != entries_.end())
-            it->second.ready = true;
-        evict_excess_locked();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (store != nullptr)
+                disk_hit ? ++disk_hits_ : ++disk_misses_;
+            if (!disk_hit)
+                ++builds_;
+            auto it = entries_.find(key);
+            if (it != entries_.end())
+                it->second.ready = true;
+            evict_excess_locked();
+        }
+        // Write-back on fresh builds only: a disk hit already lives there,
+        // and build-once semantics make this write-once per key per process.
+        if (!disk_hit && store != nullptr)
+            submit_writeback(store, plan);
         return plan;
     } catch (...) {
         promise.set_exception(std::current_exception());
         std::lock_guard<std::mutex> lock(mu_);
         entries_.erase(key); // later requests retry instead of caching failure
         throw;
+    }
+}
+
+void
+PlanCache::submit_writeback(std::shared_ptr<PlanStore> store,
+                            std::shared_ptr<const ReplayPlan> plan)
+{
+    std::future<void> pending;
+    try {
+        pending = ThreadPool::background().submit(
+            [this, store = std::move(store), plan = std::move(plan)] {
+                if (store->store(*plan)) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++writebacks_;
+                }
+            });
+    } catch (...) {
+        return; // pool shutting down (process exit) — persistence is best-effort
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    // Prune settled futures so a long-lived process with the tier enabled
+    // holds state only for writebacks actually in flight.
+    std::erase_if(writeback_futures_, [](std::future<void>& f) {
+        return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    });
+    writeback_futures_.push_back(std::move(pending));
+}
+
+void
+PlanCache::flush_writebacks()
+{
+    std::vector<std::future<void>> pending;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pending.swap(writeback_futures_);
+    }
+    for (std::future<void>& f : pending) {
+        try {
+            f.get();
+        } catch (...) {
+            // store() reports failures via its return value; nothing to do.
+        }
     }
 }
 
@@ -108,6 +199,10 @@ PlanCache::stats() const
     PlanCacheStats s;
     s.hits = hits_;
     s.misses = misses_;
+    s.disk_hits = disk_hits_;
+    s.disk_misses = disk_misses_;
+    s.builds = builds_;
+    s.writebacks = writebacks_;
     s.evictions = evictions_;
     s.size = entries_.size();
     s.capacity = capacity_;
@@ -117,13 +212,16 @@ PlanCache::stats() const
 void
 PlanCache::clear()
 {
+    // Settle in-flight writebacks first so their completions cannot bump the
+    // counters this is about to zero.
+    flush_writebacks();
     std::lock_guard<std::mutex> lock(mu_);
     // Keep in-flight builds (their owners still hold the promise); dropping
     // them here would not cancel the build anyway.
     for (auto it = entries_.begin(); it != entries_.end();) {
         it = it->second.ready ? entries_.erase(it) : std::next(it);
     }
-    hits_ = misses_ = evictions_ = 0;
+    hits_ = misses_ = disk_hits_ = disk_misses_ = builds_ = writebacks_ = evictions_ = 0;
     tick_ = 0;
 }
 
@@ -133,6 +231,16 @@ PlanCache::set_capacity(std::size_t capacity)
     std::lock_guard<std::mutex> lock(mu_);
     capacity_ = std::max<std::size_t>(capacity, 1);
     evict_excess_locked();
+}
+
+void
+PlanCache::set_store_dir(std::optional<std::string> dir)
+{
+    // Writebacks bound for the *old* store should land before the switch
+    // takes effect (tests rely on a settled directory).
+    flush_writebacks();
+    std::lock_guard<std::mutex> lock(mu_);
+    store_override_ = std::move(dir);
 }
 
 void

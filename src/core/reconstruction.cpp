@@ -81,15 +81,9 @@ Reconstructor::reconstruct(const et::Node& node, bool supported)
     ReconstructedOp op;
     op.node = &node;
     op.op_id = node.op_id.load(); // resolved by selection; invalid for unsupported ops
-    if (!supported) {
-        op.kind = ReconstructedOp::Kind::kSkipped;
+    op.kind = decide_kind(node, supported);
+    if (op.kind != ReconstructedOp::Kind::kCompiledIr)
         return op;
-    }
-    if (node.category == dev::OpCategory::kComm ||
-        node.category == dev::OpCategory::kCustom) {
-        op.kind = ReconstructedOp::Kind::kDirect;
-        return op;
-    }
 
     // ATen path (§4.3.1): schema → IR text → compiled function.
     const jit::FunctionSchema schema = jit::parse_schema(node.op_schema);

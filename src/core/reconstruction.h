@@ -50,6 +50,29 @@ class Reconstructor {
     /// Reconstructs one node (@p supported from the selection pass).
     ReconstructedOp reconstruct(const et::Node& node, bool supported);
 
+    /// The reconstruction kind this process produces for (@p node,
+    /// @p supported) — the single decision shared by reconstruct() and the
+    /// plan-restore path (ReplayPlan::from_json), which uses it to detect
+    /// registry drift against a document's recorded kinds.
+    static ReconstructedOp::Kind decide_kind(const et::Node& node, bool supported)
+    {
+        if (!supported)
+            return ReconstructedOp::Kind::kSkipped;
+        if (node.category == dev::OpCategory::kComm ||
+            node.category == dev::OpCategory::kCustom)
+            return ReconstructedOp::Kind::kDirect;
+        return ReconstructedOp::Kind::kCompiledIr;
+    }
+
+    /// Compiles an already-generated graph into this unit — the plan-restore
+    /// path (ReplayPlan::from_json) parses recorded IR text directly instead
+    /// of re-deriving it from schemas, and ops with identical IR share the
+    /// resulting function.
+    const jit::Function& create_function(const std::string& name, jit::Graph graph)
+    {
+        return cu_.create_function(name, std::move(graph));
+    }
+
     const jit::CompilationUnit& compilation_unit() const { return cu_; }
 
   private:

@@ -173,13 +173,18 @@ ReplayDriver::replay_groups(const et::TraceDatabase& db, std::size_t top_k,
         std::fprintf(stderr,
                      "[mystique] sweep: %zu groups, parallelism=%zu, "
                      "weighted_mean_iter_us=%.2f\n"
-                     "[mystique]   plan cache: hits=%llu misses=%llu evictions=%llu "
+                     "[mystique]   plan cache: hits=%llu misses=%llu disk_hits=%llu "
+                     "disk_misses=%llu builds=%llu writebacks=%llu evictions=%llu "
                      "size=%zu/%zu\n"
                      "[mystique]   arena: hits=%llu misses=%llu returns=%llu "
                      "cached=%lld B outstanding=%lld B (max worker peak %lld B)\n",
                      out.groups.size(), parallelism_, out.weighted_mean_iter_us,
                      static_cast<unsigned long long>(out.cache.hits),
                      static_cast<unsigned long long>(out.cache.misses),
+                     static_cast<unsigned long long>(out.cache.disk_hits),
+                     static_cast<unsigned long long>(out.cache.disk_misses),
+                     static_cast<unsigned long long>(out.cache.builds),
+                     static_cast<unsigned long long>(out.cache.writebacks),
                      static_cast<unsigned long long>(out.cache.evictions),
                      out.cache.size, out.cache.capacity,
                      static_cast<unsigned long long>(out.arena.hits),

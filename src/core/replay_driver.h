@@ -62,7 +62,9 @@ struct DatabaseReplayResult {
     /// Fraction of the database population the replayed groups cover
     /// (1.0 when every group was replayed; less under top_k truncation).
     double population_covered = 0.0;
-    /// Plan-cache counters observed after the sweep.
+    /// Plan-cache counters observed after the sweep — with a disk tier
+    /// configured (MYST_PLAN_CACHE_DIR), disk_hits/disk_misses/builds/
+    /// writebacks show how much of the sweep was served across processes.
     PlanCacheStats cache;
     /// Storage-arena counters aggregated over the worker sessions after the
     /// sweep (recycling across iterations and groups shows up as hits).

@@ -7,7 +7,9 @@
 
 #include "common/error.h"
 #include "common/hash.h"
+#include "common/string_util.h"
 #include "framework/op_registry.h"
+#include "jit/ir.h"
 
 namespace mystique::core {
 
@@ -385,41 +387,40 @@ ReplayPlan::to_json() const
     j.set("key", key_.to_json());
     j.set("coverage", coverage_to_json(coverage_));
 
-    Json sel_ops = Json::array();
-    for (const SelectedOp& sel : selection_.ops) {
-        Json s = Json::object();
-        s.set("node_id", Json(sel.node_id));
-        s.set("supported", Json(sel.supported));
-        sel_ops.push_back(std::move(s));
-    }
-    Json subtrees = Json::array();
-    for (const auto& [root, ids] : selection_.subtree_ids) {
-        Json s = Json::object();
-        s.set("root", Json(root));
-        Json nodes = Json::array();
-        for (int64_t id : ids)
-            nodes.push_back(Json(id));
-        s.set("nodes", std::move(nodes));
-        subtrees.push_back(std::move(s));
-    }
-    Json selection_j = Json::object();
-    selection_j.set("ops", std::move(sel_ops));
-    selection_j.set("subtrees", std::move(subtrees));
-    j.set("selection", std::move(selection_j));
-
+    // The document carries exactly what restore cannot derive:
+    //  - "ir_table": each *distinct* IR text once — traces repeat ops across
+    //    iterations and layers, so inlining IR per op used to be most of the
+    //    file;
+    //  - "ops": per selected op, the node it binds to, the reconstruction
+    //    kind, the stream assignment, and an ir_table index.
+    // The selection is implied (op order IS selection order; an op is
+    // supported iff its kind is not "skipped"), and subtree groupings are
+    // build-phase scaffolding for stream/coverage derivation — both restored
+    // facts, so neither is serialized.  from_json still accepts the legacy
+    // spelling (explicit "selection", inline "ir" strings, per-op
+    // name/tid annotations).
     Json ops = Json::array();
+    Json ir_table = Json::array();
+    std::unordered_map<std::string_view, int64_t> ir_index;
     for (const ReconstructedOp& op : ops_) {
         Json o = Json::object();
         o.set("node_id", Json(op.node->id));
-        o.set("name", Json(op.node->name));
-        o.set("tid", Json(static_cast<int64_t>(op.node->tid)));
-        o.set("kind", Json(kind_name(op.kind)));
+        // "kind" is implied for the dominant case: an op with an "ir"
+        // reference is compiled_ir; direct/skipped ops spell it out.
+        if (op.kind != ReconstructedOp::Kind::kCompiledIr)
+            o.set("kind", Json(kind_name(op.kind)));
         if (op.stream.has_value())
             o.set("stream", Json(static_cast<int64_t>(*op.stream)));
-        if (!op.ir_text.empty())
-            o.set("ir", Json(op.ir_text));
+        if (!op.ir_text.empty()) {
+            const auto [it, fresh] = ir_index.try_emplace(
+                op.ir_text, static_cast<int64_t>(ir_table.as_array().size()));
+            if (fresh)
+                ir_table.push_back(Json(op.ir_text));
+            o.set("ir", Json(it->second));
+        }
         ops.push_back(std::move(o));
     }
+    j.set("ir_table", std::move(ir_table));
     j.set("ops", std::move(ops));
     return j;
 }
@@ -429,7 +430,7 @@ ReplayPlan::from_json(const Json& j, const et::ExecutionTrace& trace)
 {
     fw::ensure_ops_registered();
     auto plan = std::shared_ptr<ReplayPlan>(new ReplayPlan());
-    plan->owned_trace_ = trace; // self-contained, like build()
+    plan->owned_trace_ = trace; // private copy: self-contained, like build()
     plan->trace_ = &plan->owned_trace_;
     plan->key_ = PlanKey::from_json(j.at("key"));
     // Only full-provenance documents deserialize: a partial key means this
@@ -442,45 +443,114 @@ ReplayPlan::from_json(const Json& j, const et::ExecutionTrace& trace)
                    "from generate_benchmark packages carry full provenance");
     plan->coverage_ = coverage_from_json(j.at("coverage"));
 
-    const Json& selection_j = j.at("selection");
-    for (const Json& s : selection_j.at("ops").as_array()) {
-        const int64_t node_id = s.at("node_id").as_int();
-        const et::Node* node = plan->trace_->find(node_id);
-        if (node == nullptr)
-            MYST_THROW(ParseError, "plan json: selected node " + std::to_string(node_id) +
-                                       " is not in the trace");
-        plan->selection_.ops.push_back(
-            {node_id, s.at("supported").as_bool(), et::resolve_op_id(*node)});
-    }
-    for (const Json& s : selection_j.at("subtrees").as_array()) {
-        std::vector<int64_t>& ids = plan->selection_.subtree_ids[s.at("root").as_int()];
-        for (const Json& id : s.at("nodes").as_array())
-            ids.push_back(id.as_int());
-    }
-
+    // Restore the selection: current documents imply it from the ops array
+    // (op order is selection order; supported ⇔ kind != "skipped"); legacy
+    // documents spell it out, subtree scaffolding included.
     const Json::Array& ops_j = j.at("ops").as_array();
+    if (const Json* selection_j = j.find("selection")) {
+        for (const Json& s : selection_j->at("ops").as_array()) {
+            const int64_t node_id = s.at("node_id").as_int();
+            const et::Node* node = plan->trace_->find(node_id);
+            if (node == nullptr)
+                MYST_THROW(ParseError, "plan json: selected node " +
+                                           std::to_string(node_id) +
+                                           " is not in the trace");
+            plan->selection_.ops.push_back(
+                {node_id, s.at("supported").as_bool(), et::resolve_op_id(*node)});
+        }
+        for (const Json& s : selection_j->at("subtrees").as_array()) {
+            std::vector<int64_t>& ids =
+                plan->selection_.subtree_ids[s.at("root").as_int()];
+            for (const Json& id : s.at("nodes").as_array())
+                ids.push_back(id.as_int());
+        }
+    } else {
+        plan->selection_.ops.reserve(ops_j.size());
+        for (const Json& o : ops_j) {
+            const int64_t node_id = o.at("node_id").as_int();
+            const et::Node* node = plan->trace_->find(node_id);
+            if (node == nullptr)
+                MYST_THROW(ParseError, "plan json: selected node " +
+                                           std::to_string(node_id) +
+                                           " is not in the trace");
+            plan->selection_.ops.push_back(
+                {node_id, o.get_string("kind", "compiled_ir") != "skipped",
+                 et::resolve_op_id(*node)});
+        }
+    }
     if (ops_j.size() != plan->selection_.ops.size())
         MYST_THROW(ParseError, "plan json: ops/selection length mismatch");
     plan->ops_.reserve(ops_j.size());
+    // Compiled callables restore from the *recorded* IR text rather than
+    // re-deriving it from each node's schema — the document already carries
+    // the exact IR the generating process executed, and traces repeat ops
+    // across iterations and layers, so compiling each distinct text once
+    // (ops with equal IR share one jit::Function; execution state lives in
+    // the per-rank session, never in the function) makes restore a parse
+    // instead of a full reconstruction pass.  That cost asymmetry is what
+    // the disk tier's micro_plan_disk gate is built on.
+    const Json::Array* ir_table = nullptr;
+    if (const Json* t = j.find("ir_table"))
+        ir_table = &t->as_array();
+    // One compiled function per distinct IR text; ops resolved through the
+    // table share by index, legacy inline strings share by content.
+    std::vector<const jit::Function*> compiled_by_ref(
+        ir_table != nullptr ? ir_table->size() : 0, nullptr);
+    std::unordered_map<std::string, const jit::Function*> compiled_by_text;
     for (std::size_t i = 0; i < ops_j.size(); ++i) {
         const Json& o = ops_j[i];
         const SelectedOp& sel = plan->selection_.ops[i];
         if (o.at("node_id").as_int() != sel.node_id)
             MYST_THROW(ParseError, "plan json: ops/selection order mismatch");
         const et::Node* node = plan->trace_->find(sel.node_id);
-        // Compiled-IR callables cannot be serialized; regenerate them from
-        // the trace's recorded schemas (deterministic given the registry).
-        ReconstructedOp op = plan->reconstructor_.reconstruct(*node, sel.supported);
-        // A kind drift means this process's op registry / custom-op set does
-        // not match the one the plan was generated under — replaying anyway
+
+        ReconstructedOp op;
+        op.node = node;
+        op.op_id = sel.op_id;
+        // The kind this process's registry would reconstruct.  A drift vs
+        // the recorded kind means the registry / custom-op set no longer
+        // matches the one the plan was generated under — replaying anyway
         // would silently execute a different benchmark.
-        if (std::string(kind_name(op.kind)) != o.at("kind").as_string())
+        op.kind = Reconstructor::decide_kind(*node, sel.supported);
+        const std::string recorded_kind = o.get_string("kind", "compiled_ir");
+        if (kind_name(op.kind) != recorded_kind)
             MYST_THROW(MystiqueError,
                        "plan json: node " + std::to_string(sel.node_id) + " ('" +
                            node->name + "') reconstructs as " + kind_name(op.kind) +
-                           " but the plan was generated with " +
-                           o.at("kind").as_string() +
+                           " but the plan was generated with " + recorded_kind +
                            " — op registry mismatch with the generating process");
+
+        if (op.kind == ReconstructedOp::Kind::kCompiledIr) {
+            // Malformed IR makes parse_ir throw ParseError → the caller
+            // (plan store / package import) treats the document as corrupt.
+            auto compile = [&](const std::string& text) {
+                jit::Graph graph = jit::parse_ir(text);
+                return &plan->reconstructor_.create_function(
+                    strprintf("%s_n%lld", node->name.c_str(),
+                              static_cast<long long>(node->id)),
+                    std::move(graph));
+            };
+            const Json& ir_j = o.at("ir");
+            if (ir_j.is_int()) {
+                const int64_t ref = ir_j.as_int();
+                if (ir_table == nullptr || ref < 0 ||
+                    static_cast<std::size_t>(ref) >= ir_table->size())
+                    MYST_THROW(ParseError, "plan json: op ir reference " +
+                                               std::to_string(ref) +
+                                               " is outside the ir_table");
+                op.ir_text = (*ir_table)[static_cast<std::size_t>(ref)].as_string();
+                const jit::Function*& slot = compiled_by_ref[static_cast<std::size_t>(ref)];
+                if (slot == nullptr)
+                    slot = compile(op.ir_text);
+                op.fn = slot;
+            } else {
+                op.ir_text = ir_j.as_string(); // legacy inline spelling
+                auto it = compiled_by_text.find(op.ir_text);
+                if (it == compiled_by_text.end())
+                    it = compiled_by_text.emplace(op.ir_text, compile(op.ir_text)).first;
+                op.fn = it->second;
+            }
+        }
         if (const Json* stream = o.find("stream"))
             op.stream = static_cast<int>(stream->as_int());
         plan->ops_.push_back(std::move(op));

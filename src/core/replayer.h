@@ -20,7 +20,10 @@
 /// fingerprint).  The fleet-scale consumers — run_distributed and
 /// ReplayDriver's trace-database sweeps (§8.2) — fetch through the cache, so
 /// a second replay of an *equivalent* trace (same operator mix) skips the
-/// entire build phase.  Direct `Replayer(trace, prof, cfg)` construction
+/// entire build phase.  With MYST_PLAN_CACHE_DIR set the cache adds a
+/// disk tier (core/plan_store.h), extending the same reuse across process
+/// restarts: a rank's plan miss loads the persisted entry instead of
+/// building.  Direct `Replayer(trace, prof, cfg)` construction
 /// still builds a private, uncached plan: one-shot tools keep their
 /// no-global-state behavior, and nothing is retained past the Replayer.
 /// Cache entries are LRU-evicted; executors keep plans alive via shared_ptr,

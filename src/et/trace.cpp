@@ -76,15 +76,14 @@ transfer_fp_cache(std::atomic<bool>& src_valid, std::atomic<uint64_t>& src_fp,
 } // namespace
 
 ExecutionTrace::ExecutionTrace(const ExecutionTrace& other)
-    : meta_(other.meta_), nodes_(other.nodes_), index_(other.index_)
+    : meta_(other.meta_), nodes_(other.nodes_)
 {
     transfer_fp_cache(other.fp_valid_, other.fp_, fp_valid_, fp_);
     transfer_fp_cache(other.sfp_valid_, other.sfp_, sfp_valid_, sfp_);
 }
 
 ExecutionTrace::ExecutionTrace(ExecutionTrace&& other) noexcept
-    : meta_(std::move(other.meta_)), nodes_(std::move(other.nodes_)),
-      index_(std::move(other.index_))
+    : meta_(std::move(other.meta_)), nodes_(std::move(other.nodes_))
 {
     transfer_fp_cache(other.fp_valid_, other.fp_, fp_valid_, fp_, /*reset_src=*/true);
     transfer_fp_cache(other.sfp_valid_, other.sfp_, sfp_valid_, sfp_, /*reset_src=*/true);
@@ -104,7 +103,6 @@ ExecutionTrace::operator=(ExecutionTrace&& other) noexcept
 {
     meta_ = std::move(other.meta_);
     nodes_ = std::move(other.nodes_);
-    index_ = std::move(other.index_);
     transfer_fp_cache(other.fp_valid_, other.fp_, fp_valid_, fp_, /*reset_src=*/true);
     transfer_fp_cache(other.sfp_valid_, other.sfp_, sfp_valid_, sfp_, /*reset_src=*/true);
     return *this;
@@ -116,7 +114,6 @@ ExecutionTrace::add_node(Node node)
     if (!nodes_.empty())
         MYST_CHECK_MSG(node.id > nodes_.back().id,
                        "node IDs must increase: " << node.id << " after " << nodes_.back().id);
-    index_[node.id] = nodes_.size();
     nodes_.push_back(std::move(node));
     fp_valid_.store(false, std::memory_order_release);
     sfp_valid_.store(false, std::memory_order_release);
@@ -125,8 +122,15 @@ ExecutionTrace::add_node(Node node)
 const Node*
 ExecutionTrace::find(int64_t id) const
 {
-    auto it = index_.find(id);
-    return it == index_.end() ? nullptr : &nodes_[it->second];
+    // Nodes are stored in strictly increasing ID order (add_node enforces
+    // it), so lookup is a binary search — no side index to build, copy, or
+    // keep coherent.  Plan caching copies traces on every build and restore;
+    // dropping the id→position hash map made those copies measurably
+    // cheaper, and find() stays O(log n).
+    const auto it = std::lower_bound(
+        nodes_.begin(), nodes_.end(), id,
+        [](const Node& n, int64_t want) { return n.id < want; });
+    return it != nodes_.end() && it->id == id ? &*it : nullptr;
 }
 
 std::vector<int64_t>

@@ -102,8 +102,7 @@ class ExecutionTrace {
 
   private:
     TraceMeta meta_;
-    std::vector<Node> nodes_;
-    std::unordered_map<int64_t, std::size_t> index_; // id → position
+    std::vector<Node> nodes_; ///< strictly increasing IDs; find() binary-searches
 
     mutable std::atomic<bool> fp_valid_{false};
     mutable std::atomic<uint64_t> fp_{0};

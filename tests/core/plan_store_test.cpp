@@ -1,0 +1,465 @@
+/// Disk-backed plan tier tests: lossless ReplayPlan JSON round-trips across
+/// every registered op in a multi-workload trace set, cross-cache-instance
+/// disk reuse (the in-process model of cross-process reuse), the corruption/
+/// robustness matrix (truncated, key-flipped, stale-schema, zero-byte, and
+/// kind-drifted entries quarantine and rebuild — never crash, never replay a
+/// wrong plan), and build-once ⇒ write-once under concurrent fetches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fs_util.h"
+#include "common/hash.h"
+#include "core/plan_cache.h"
+#include "core/plan_store.h"
+#include "core/replayer.h"
+#include "workloads/harness.h"
+
+namespace mystique::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+wl::RunConfig
+tiny_cfg()
+{
+    wl::RunConfig cfg;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 2;
+    cfg.seed = 7;
+    return cfg;
+}
+
+wl::WorkloadOptions
+tiny_opts()
+{
+    wl::WorkloadOptions o;
+    o.preset = wl::Preset::kTiny;
+    return o;
+}
+
+ReplayConfig
+tiny_replay()
+{
+    ReplayConfig cfg;
+    cfg.mode = fw::ExecMode::kShapeOnly;
+    cfg.warmup_iterations = 1;
+    cfg.iterations = 2;
+    return cfg;
+}
+
+/// One traced tiny run per workload, shared across the suite.
+const wl::RunResult&
+traced(const std::string& workload)
+{
+    static std::map<std::string, wl::RunResult> cache;
+    auto it = cache.find(workload);
+    if (it == cache.end())
+        it = cache.emplace(workload, wl::run_original(workload, tiny_opts(), tiny_cfg()))
+                 .first;
+    return it->second;
+}
+
+/// Unique, self-deleting store directory per test.
+struct TempStoreDir {
+    TempStoreDir()
+    {
+        static std::atomic<int> counter{0};
+        path = (fs::temp_directory_path() /
+                ("myst_plan_store_test_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter.fetch_add(1))))
+                   .string();
+        fs::create_directories(path);
+    }
+    ~TempStoreDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+/// The single store entry in @p dir (fails the test when count != 1).
+std::string
+sole_entry(const std::string& dir)
+{
+    std::vector<std::string> entries;
+    for (const auto& e : fs::directory_iterator(dir)) {
+        if (e.path().extension() == ".json")
+            entries.push_back(e.path().string());
+    }
+    EXPECT_EQ(entries.size(), 1u) << "expected exactly one store entry in " << dir;
+    return entries.empty() ? std::string() : entries.front();
+}
+
+void
+expect_identical_replay(const std::shared_ptr<const ReplayPlan>& a,
+                        const std::shared_ptr<const ReplayPlan>& b,
+                        const ReplayConfig& cfg, const std::string& label)
+{
+    Replayer ra(a, cfg);
+    const ReplayResult res_a = ra.run();
+    Replayer rb(b, cfg);
+    const ReplayResult res_b = rb.run();
+    EXPECT_EQ(res_a.mean_iter_us, res_b.mean_iter_us) << label;
+    ASSERT_EQ(res_a.iter_us.size(), res_b.iter_us.size()) << label;
+    for (std::size_t i = 0; i < res_a.iter_us.size(); ++i)
+        EXPECT_EQ(res_a.iter_us[i], res_b.iter_us[i]) << label << " iter " << i;
+    EXPECT_EQ(res_a.coverage.selected_ops, res_b.coverage.selected_ops) << label;
+    EXPECT_EQ(res_a.prof.kernels().size(), res_b.prof.kernels().size()) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: property-style round trip over every registered op that the
+// multi-workload trace set reaches.
+// ---------------------------------------------------------------------------
+
+TEST(PlanRoundTrip, EveryReachedOpSurvivesJsonAndReplaysBitIdentically)
+{
+    const ReplayConfig cfg = tiny_replay();
+    std::set<std::string> supported_names_reached;
+
+    for (const char* workload : {"param_linear", "rm", "asr"}) {
+        const auto& r0 = traced(workload).rank0();
+        const auto plan = ReplayPlan::build(r0.trace, &r0.prof, cfg);
+        const Json j = plan->to_json();
+        const auto restored = ReplayPlan::from_json(j, r0.trace);
+
+        // Lossless: re-serializing the restored plan reproduces the document.
+        EXPECT_EQ(restored->to_json(), j) << workload;
+        EXPECT_EQ(restored->key(), plan->key()) << workload;
+
+        // Per-op property: every reconstructed op — one per registered op
+        // occurrence the selection reached — round-trips kind, stream
+        // assignment, and generated IR text exactly.
+        ASSERT_EQ(restored->ops().size(), plan->ops().size()) << workload;
+        for (std::size_t i = 0; i < plan->ops().size(); ++i) {
+            const ReconstructedOp& orig = plan->ops()[i];
+            const ReconstructedOp& back = restored->ops()[i];
+            ASSERT_NE(orig.node, nullptr);
+            ASSERT_NE(back.node, nullptr);
+            EXPECT_EQ(back.node->id, orig.node->id) << workload << " op " << i;
+            EXPECT_EQ(back.node->name, orig.node->name) << workload << " op " << i;
+            EXPECT_EQ(back.kind, orig.kind) << workload << " op " << orig.node->name;
+            EXPECT_EQ(back.stream, orig.stream) << workload << " op " << orig.node->name;
+            EXPECT_EQ(back.ir_text, orig.ir_text) << workload << " op " << orig.node->name;
+            if (orig.kind != ReconstructedOp::Kind::kSkipped)
+                supported_names_reached.insert(orig.node->name);
+        }
+
+        expect_identical_replay(plan, restored, cfg, workload);
+    }
+
+    // The three workloads must actually exercise a broad slice of the
+    // registry — a trivial trace would make the per-op property vacuous.
+    EXPECT_GE(supported_names_reached.size(), 10u)
+        << "multi-workload trace set reaches suspiciously few registered ops";
+}
+
+// ---------------------------------------------------------------------------
+// Disk-tier reuse across cache instances (the in-process stand-in for the
+// cross-process CI step; the key and entry bytes are process-independent).
+// ---------------------------------------------------------------------------
+
+TEST(PlanStoreTier, SecondCacheInstanceLoadsFromDiskWithZeroBuilds)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+    TempStoreDir dir;
+
+    PlanCache first(8);
+    first.set_store_dir(dir.path);
+    const auto built = first.get_or_build(r0.trace, &r0.prof, cfg);
+    first.flush_writebacks();
+    PlanCacheStats s1 = first.stats();
+    EXPECT_EQ(s1.misses, 1u);
+    EXPECT_EQ(s1.disk_hits, 0u);
+    EXPECT_EQ(s1.disk_misses, 1u);
+    EXPECT_EQ(s1.builds, 1u);
+    EXPECT_EQ(s1.writebacks, 1u);
+    sole_entry(dir.path);
+
+    // A fresh cache (≈ a fresh process) resolves the same key from disk.
+    PlanCache second(8);
+    second.set_store_dir(dir.path);
+    const auto loaded = second.get_or_build(r0.trace, &r0.prof, cfg);
+    const PlanCacheStats s2 = second.stats();
+    EXPECT_EQ(s2.misses, 1u);
+    EXPECT_EQ(s2.disk_hits, 1u);
+    EXPECT_EQ(s2.disk_misses, 0u);
+    EXPECT_EQ(s2.builds, 0u); // zero plan builds — the tentpole claim
+    EXPECT_EQ(loaded->key(), built->key());
+    expect_identical_replay(built, loaded, cfg, "disk-loaded plan");
+
+    // A disk hit must not be re-written back.
+    second.flush_writebacks();
+    EXPECT_EQ(second.stats().writebacks, 0u);
+}
+
+TEST(PlanStoreTier, ClearedCacheRefillsFromDiskNotFromBuild)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+    TempStoreDir dir;
+
+    PlanCache cache(8);
+    cache.set_store_dir(dir.path);
+    (void)cache.get_or_build(r0.trace, &r0.prof, cfg);
+    cache.flush_writebacks();
+    cache.clear(); // memory tier dropped, disk tier deliberately kept
+
+    (void)cache.get_or_build(r0.trace, &r0.prof, cfg);
+    const PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.disk_hits, 1u);
+    EXPECT_EQ(s.builds, 0u);
+}
+
+TEST(PlanStoreTier, EnvVarEnablesTier)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+    TempStoreDir dir;
+
+    ASSERT_EQ(::setenv("MYST_PLAN_CACHE_DIR", dir.path.c_str(), 1), 0);
+    PlanCache cache(8); // no override: follows the environment
+    (void)cache.get_or_build(r0.trace, &r0.prof, cfg);
+    cache.flush_writebacks();
+    ::unsetenv("MYST_PLAN_CACHE_DIR");
+
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    sole_entry(dir.path);
+
+    // With the variable gone the tier is off again: no disk traffic.
+    PlanCache plain(8);
+    (void)plain.get_or_build(r0.trace, &r0.prof, cfg);
+    const PlanCacheStats s = plain.stats();
+    EXPECT_EQ(s.disk_hits + s.disk_misses, 0u);
+    EXPECT_EQ(s.builds, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: corruption/robustness matrix.  Every flavor of disk rot is
+// quarantined (renamed .bad) and falls back to a successful build; the
+// rebuilt plan is re-persisted and the store heals.
+// ---------------------------------------------------------------------------
+
+class PlanStoreCorruption : public ::testing::Test {
+  protected:
+    /// Seeds the store with one valid entry and returns its path.
+    std::string seed_entry()
+    {
+        const auto& r0 = traced("param_linear").rank0();
+        PlanCache seeder(8);
+        seeder.set_store_dir(dir_.path);
+        (void)seeder.get_or_build(r0.trace, &r0.prof, tiny_replay());
+        seeder.flush_writebacks();
+        EXPECT_EQ(seeder.stats().writebacks, 1u);
+        return sole_entry(dir_.path);
+    }
+
+    /// Runs a fresh cache against the (corrupted) store and asserts the
+    /// quarantine-and-rebuild contract end to end.
+    void expect_quarantine_and_rebuild(const std::string& entry)
+    {
+        const auto& r0 = traced("param_linear").rank0();
+        PlanCache cache(8);
+        cache.set_store_dir(dir_.path);
+        std::shared_ptr<const ReplayPlan> plan;
+        ASSERT_NO_THROW(plan = cache.get_or_build(r0.trace, &r0.prof, tiny_replay()));
+        ASSERT_NE(plan, nullptr);
+        const PlanCacheStats s = cache.stats();
+        EXPECT_EQ(s.disk_hits, 0u);
+        EXPECT_EQ(s.disk_misses, 1u);
+        EXPECT_EQ(s.builds, 1u); // fell back to a build, never a wrong plan
+        EXPECT_TRUE(fs::exists(entry + ".bad")) << "corrupt entry not quarantined";
+
+        // The rebuild re-persists a valid entry: the store self-heals and the
+        // next fresh cache is a pure disk hit again.
+        cache.flush_writebacks();
+        EXPECT_EQ(cache.stats().writebacks, 1u);
+        PlanCache healed(8);
+        healed.set_store_dir(dir_.path);
+        (void)healed.get_or_build(r0.trace, &r0.prof, tiny_replay());
+        EXPECT_EQ(healed.stats().disk_hits, 1u);
+        EXPECT_EQ(healed.stats().builds, 0u);
+    }
+
+    TempStoreDir dir_;
+};
+
+TEST_F(PlanStoreCorruption, TruncatedEntryQuarantinesAndRebuilds)
+{
+    const std::string entry = seed_entry();
+    std::ifstream in(entry, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 64u);
+    std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 2); // mid-document cut
+    out.close();
+    expect_quarantine_and_rebuild(entry);
+}
+
+TEST_F(PlanStoreCorruption, ZeroByteEntryQuarantinesAndRebuilds)
+{
+    const std::string entry = seed_entry();
+    std::ofstream(entry, std::ios::binary | std::ios::trunc).close();
+    ASSERT_EQ(fs::file_size(entry), 0u);
+    expect_quarantine_and_rebuild(entry);
+}
+
+TEST_F(PlanStoreCorruption, FlippedFingerprintQuarantinesAndRebuilds)
+{
+    const std::string entry = seed_entry();
+    Json doc = Json::parse_file(entry);
+    // Flip the embedded key's trace fingerprint: the entry now claims an
+    // identity its file name (and content) cannot back up.
+    Json key = doc.at("key");
+    const std::string fp = key.at("trace_fp").as_string();
+    key.set("trace_fp", Json(fp == "1" ? "2" : "1"));
+    doc.set("key", std::move(key));
+    doc.dump_file(entry);
+    expect_quarantine_and_rebuild(entry);
+}
+
+TEST_F(PlanStoreCorruption, StaleSchemaVersionQuarantinesAndRebuilds)
+{
+    const std::string entry = seed_entry();
+    Json doc = Json::parse_file(entry);
+    doc.set("format_version", Json(kPlanStoreFormatVersion + 1));
+    doc.dump_file(entry);
+    expect_quarantine_and_rebuild(entry);
+}
+
+TEST_F(PlanStoreCorruption, TamperedPlanContentFailsTheRecordedHash)
+{
+    const std::string entry = seed_entry();
+    Json doc = Json::parse_file(entry);
+    // Edit inside the plan without refreshing plan_hash: the whole-document
+    // content hash must catch it, whatever the edited field was.
+    Json plan_j = doc.at("plan");
+    Json ops = plan_j.at("ops");
+    ASSERT_FALSE(ops.as_array().empty());
+    Json op0 = ops.as_array().front();
+    op0.set("stream", Json(int64_t{99}));
+    ops.as_array().front() = std::move(op0);
+    plan_j.set("ops", std::move(ops));
+    doc.set("plan", std::move(plan_j));
+    doc.dump_file(entry);
+    expect_quarantine_and_rebuild(entry);
+}
+
+TEST_F(PlanStoreCorruption, KindDriftedEntryQuarantinesAndRebuilds)
+{
+    const std::string entry = seed_entry();
+    Json doc = Json::parse_file(entry);
+    // Rewrite one op's recorded kind AND refresh plan_hash so the entry
+    // passes the content check: the quarantine must then come from
+    // ReplayPlan::from_json's registry-mismatch detection — the entry claims
+    // a reconstruction kind this process's registry cannot reproduce.
+    Json plan_j = doc.at("plan");
+    Json ops = plan_j.at("ops");
+    ASSERT_FALSE(ops.as_array().empty());
+    Json op0 = ops.as_array().front();
+    // A compiled-IR op recorded as "direct" is the detectable drift: this
+    // process derives compiled_ir for an ATen node, contradicting the
+    // document.  ("skipped" would also flip the derived supported flag and
+    // stay self-consistent.)
+    ASSERT_TRUE(op0.contains("ir")) << "expected a compiled-IR op first";
+    op0.set("kind", Json("direct"));
+    ops.as_array().front() = std::move(op0);
+    plan_j.set("ops", std::move(ops));
+    // Re-hash exactly what PlanStore hashes: the plan subdocument's dumped
+    // bytes (the entry writes "plan" last, so a whole-document dump places
+    // those bytes in the hashed region verbatim).
+    Fnv1a h;
+    h.mix(plan_j.dump());
+    doc.set("plan_hash", Json(std::to_string(h.value())));
+    doc.set("plan", std::move(plan_j));
+    doc.dump_file(entry);
+    expect_quarantine_and_rebuild(entry);
+}
+
+TEST_F(PlanStoreCorruption, ConcurrentFetchWritesBackExactlyOnce)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+    PlanCache cache(8);
+    cache.set_store_dir(dir_.path);
+
+    constexpr int kThreads = 8;
+    std::vector<std::shared_ptr<const ReplayPlan>> plans(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back(
+            [&, i] { plans[i] = cache.get_or_build(r0.trace, &r0.prof, cfg); });
+    }
+    for (auto& t : threads)
+        t.join();
+    for (int i = 0; i < kThreads; ++i) {
+        ASSERT_NE(plans[i], nullptr);
+        EXPECT_EQ(plans[i].get(), plans[0].get());
+    }
+
+    cache.flush_writebacks();
+    const PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.builds, 1u);
+    EXPECT_EQ(s.writebacks, 1u); // build-once ⇒ write-once
+
+    // No torn files: exactly one entry, no leftover temp staging files, and
+    // the entry parses + serves a fresh cache as a disk hit.
+    const std::string entry = sole_entry(dir_.path);
+    for (const auto& e : fs::directory_iterator(dir_.path))
+        EXPECT_EQ(e.path().extension(), ".json") << "leftover file " << e.path();
+    ASSERT_NO_THROW((void)Json::parse_file(entry));
+    PlanCache verify(8);
+    verify.set_store_dir(dir_.path);
+    (void)verify.get_or_build(r0.trace, &r0.prof, cfg);
+    EXPECT_EQ(verify.stats().disk_hits, 1u);
+    EXPECT_EQ(verify.stats().builds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Direct PlanStore API edges.
+// ---------------------------------------------------------------------------
+
+TEST(PlanStoreApi, MissingDirectoryIsACleanMiss)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+    PlanStore store((fs::temp_directory_path() / "myst_plan_store_never_created").string());
+    EXPECT_EQ(store.load(plan_key(r0.trace, &r0.prof, cfg), r0.trace), nullptr);
+}
+
+TEST(PlanStoreApi, EntryPathEncodesTheFullKeyTuple)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+    TempStoreDir dir;
+    PlanStore store(dir.path);
+
+    const PlanKey with_prof = plan_key(r0.trace, &r0.prof, cfg);
+    const PlanKey without_prof = plan_key(r0.trace, nullptr, cfg);
+    EXPECT_NE(store.entry_path(with_prof), store.entry_path(without_prof));
+
+    ReplayConfig other = cfg;
+    other.platform = "V100";
+    EXPECT_NE(store.entry_path(plan_key(r0.trace, &r0.prof, other)),
+              store.entry_path(with_prof));
+}
+
+} // namespace
+} // namespace mystique::core
