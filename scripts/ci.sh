@@ -16,6 +16,7 @@ echo "== bench summaries =="
 ./bench_micro_arena | grep -E "micro_arena_json:|^OK:|^FAIL:"
 ./bench_micro_codegen | grep -E "micro_codegen_json:|^OK:|^FAIL:"
 ./bench_micro_plan_disk | grep -E "micro_plan_disk_json:|^OK:|^FAIL:"
+./bench_micro_fusion | grep -E "micro_fusion_json:|^OK:|^FAIL:"
 
 # Cross-process plan reuse: two sweeps of the same database in SEPARATE
 # processes sharing one MYST_PLAN_CACHE_DIR.  The first builds and persists
@@ -41,6 +42,13 @@ echo "cross-process reuse OK: second process did zero plan builds, results bit-i
 # reads an output buffer before writing it.
 echo "== poisoned-arena test pass =="
 MYST_ARENA_POISON=1 ctest --output-on-failure -j "$(nproc)"
+
+# Optimizer opt-out pass: the whole suite must also hold with verbatim
+# plans (MYST_OPT_LEVEL=0) — fusion is a pure perf layer, never a
+# correctness dependency.  micro_fusion itself sets opt_level explicitly
+# per plan, so its gates still exercise fused replay under this pass.
+echo "== verbatim-plan (MYST_OPT_LEVEL=0) test pass =="
+MYST_OPT_LEVEL=0 ctest --output-on-failure -j "$(nproc)"
 
 # Docs must not drift from the code: every env var, symbol, and file path
 # referenced from README.md / docs/ has to exist in the tree.

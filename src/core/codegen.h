@@ -49,7 +49,10 @@ namespace mystique::core {
 
 /// Manifest schema version written by generate_benchmark and required by
 /// verify_package.
-inline constexpr int kPackageFormatVersion = 1;
+/// v2: replay_plan.json may carry optimizer output ("fused_groups" +
+/// "optimizer"), the replay config serializes "opt_level", and the manifest
+/// pins "opt_level" at top level (verified against the embedded config).
+inline constexpr int kPackageFormatVersion = 2;
 /// Generator identity recorded in the manifest.
 inline constexpr const char* kGeneratorVersion = "mystique-codegen/1.0";
 

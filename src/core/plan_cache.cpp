@@ -49,6 +49,23 @@ std::shared_ptr<const ReplayPlan>
 PlanCache::get_or_build(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
                         const ReplayConfig& cfg)
 {
+    return get_or_build_impl(trace, nullptr, prof, cfg);
+}
+
+std::shared_ptr<const ReplayPlan>
+PlanCache::get_or_build(std::shared_ptr<const et::ExecutionTrace> trace,
+                        const prof::ProfilerTrace* prof, const ReplayConfig& cfg)
+{
+    MYST_CHECK(trace != nullptr);
+    const et::ExecutionTrace& ref = *trace;
+    return get_or_build_impl(ref, std::move(trace), prof, cfg);
+}
+
+std::shared_ptr<const ReplayPlan>
+PlanCache::get_or_build_impl(const et::ExecutionTrace& trace,
+                             std::shared_ptr<const et::ExecutionTrace> shared,
+                             const prof::ProfilerTrace* prof, const ReplayConfig& cfg)
+{
     const PlanKey key = plan_key(trace, prof, cfg);
 
     std::promise<std::shared_ptr<const ReplayPlan>> promise;
@@ -81,21 +98,36 @@ PlanCache::get_or_build(const et::ExecutionTrace& trace, const prof::ProfilerTra
     // null return always means "build it".
     const std::shared_ptr<PlanStore> store = open_store();
     try {
+        // The plan must outlive the caller's trace reference: share the
+        // caller's handle when it has one, deep-copy exactly once when not.
+        // Either way the misses below (disk load or full build) perform no
+        // further trace copies.
+        if (shared == nullptr)
+            shared = std::make_shared<et::ExecutionTrace>(trace);
         std::shared_ptr<const ReplayPlan> plan;
         bool disk_hit = false;
         if (store != nullptr) {
-            plan = store->load(key, trace);
+            plan = store->load(key, shared);
             disk_hit = plan != nullptr;
         }
         if (plan == nullptr)
-            plan = ReplayPlan::build_with_key(trace, prof, cfg, key);
+            plan = ReplayPlan::build_with_key(std::move(shared), prof, cfg, key);
         promise.set_value(plan);
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (store != nullptr)
                 disk_hit ? ++disk_hits_ : ++disk_misses_;
-            if (!disk_hit)
+            if (!disk_hit) {
                 ++builds_;
+                // Optimizer counters accumulate on builds only: warm plans
+                // (either tier) are already optimized, so a warm sweep shows
+                // zero re-optimization.
+                const OptimizerStats& opt = plan->optimizer_stats();
+                opt_ops_fused_ += static_cast<uint64_t>(opt.ops_fused);
+                opt_ops_eliminated_ += static_cast<uint64_t>(opt.ops_eliminated);
+                opt_chains_formed_ += static_cast<uint64_t>(opt.chains_formed);
+                opt_time_us_ += opt.optimize_us;
+            }
             auto it = entries_.find(key);
             if (it != entries_.end())
                 it->second.ready = true;
@@ -206,6 +238,10 @@ PlanCache::stats() const
     s.evictions = evictions_;
     s.size = entries_.size();
     s.capacity = capacity_;
+    s.opt_ops_fused = opt_ops_fused_;
+    s.opt_ops_eliminated = opt_ops_eliminated_;
+    s.opt_chains_formed = opt_chains_formed_;
+    s.opt_time_us = opt_time_us_;
     return s;
 }
 
@@ -222,6 +258,8 @@ PlanCache::clear()
         it = it->second.ready ? entries_.erase(it) : std::next(it);
     }
     hits_ = misses_ = disk_hits_ = disk_misses_ = builds_ = writebacks_ = evictions_ = 0;
+    opt_ops_fused_ = opt_ops_eliminated_ = opt_chains_formed_ = 0;
+    opt_time_us_ = 0.0;
     tick_ = 0;
 }
 

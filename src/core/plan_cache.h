@@ -71,6 +71,14 @@ struct PlanCacheStats {
     uint64_t evictions = 0;
     std::size_t size = 0;
     std::size_t capacity = 0;
+
+    /// Optimizer counters, accumulated over *builds only* — warm hits (both
+    /// tiers) replay pre-optimized plans, so a fully warm sweep shows zero
+    /// re-optimization alongside zero builds.
+    uint64_t opt_ops_fused = 0;
+    uint64_t opt_ops_eliminated = 0;
+    uint64_t opt_chains_formed = 0;
+    double opt_time_us = 0.0;
 };
 
 class PlanCache {
@@ -90,10 +98,20 @@ class PlanCache {
     /// Returns the plan for (trace, prof, cfg): from memory, else from the
     /// disk tier (when configured), else built.  Equivalent traces (equal
     /// fingerprints) under the same supported set and plan-shaping config
-    /// share one plan.
+    /// share one plan.  This spelling deep-copies the trace into the plan
+    /// on a miss (the plan must outlive the caller's reference).
     std::shared_ptr<const ReplayPlan> get_or_build(const et::ExecutionTrace& trace,
                                                    const prof::ProfilerTrace* prof,
                                                    const ReplayConfig& cfg);
+
+    /// Zero-copy spelling for callers that hold the trace in shared
+    /// ownership (TraceDatabase, package import): on a miss the built or
+    /// disk-restored plan *shares* @p trace instead of deep-copying it —
+    /// the disk-hit path becomes one parse + one IR compile per distinct
+    /// text, with no O(trace) copy.
+    std::shared_ptr<const ReplayPlan>
+    get_or_build(std::shared_ptr<const et::ExecutionTrace> trace,
+                 const prof::ProfilerTrace* prof, const ReplayConfig& cfg);
 
     /// Peeks the memory tier without building (and without stats side
     /// effects); nullptr on miss or while the key's build is still in flight.
@@ -132,6 +150,11 @@ class PlanCache {
     void flush_writebacks();
 
   private:
+    std::shared_ptr<const ReplayPlan>
+    get_or_build_impl(const et::ExecutionTrace& trace,
+                      std::shared_ptr<const et::ExecutionTrace> shared,
+                      const prof::ProfilerTrace* prof, const ReplayConfig& cfg);
+
     struct Entry {
         std::shared_future<std::shared_ptr<const ReplayPlan>> plan;
         bool ready = false;    ///< set once the build completed successfully
@@ -154,6 +177,10 @@ class PlanCache {
     uint64_t builds_ = 0;
     uint64_t writebacks_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t opt_ops_fused_ = 0;
+    uint64_t opt_ops_eliminated_ = 0;
+    uint64_t opt_chains_formed_ = 0;
+    double opt_time_us_ = 0.0;
     std::optional<std::string> store_override_;
     std::vector<std::future<void>> writeback_futures_;
     std::unordered_map<PlanKey, Entry, PlanKeyHash> entries_;

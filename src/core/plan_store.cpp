@@ -49,7 +49,7 @@ PlanStore::entry_path(const PlanKey& key) const
 }
 
 std::shared_ptr<const ReplayPlan>
-PlanStore::load(const PlanKey& key, const et::ExecutionTrace& trace) const
+PlanStore::load(const PlanKey& key, std::shared_ptr<const et::ExecutionTrace> trace) const
 {
     const std::string path = entry_path(key);
     {
@@ -100,7 +100,7 @@ PlanStore::load(const PlanKey& key, const et::ExecutionTrace& trace) const
         // entry quarantines below instead of silently replaying a different
         // benchmark.
         std::shared_ptr<const ReplayPlan> plan =
-            ReplayPlan::from_json(entry.at("plan"), trace);
+            ReplayPlan::from_json(entry.at("plan"), std::move(trace));
         if (plan->key() != key)
             MYST_THROW(ParseError,
                        "plan store entry: deserialized plan carries a different key");

@@ -41,7 +41,9 @@ namespace mystique::core {
 
 /// Schema version of a store entry; bumped on incompatible layout changes.
 /// load() quarantines entries from other versions (stale-schema rot).
-inline constexpr int kPlanStoreFormatVersion = 1;
+/// v2: plan documents carry optimizer output ("fused_groups" + "optimizer",
+/// config "opt_level") — v1 entries quarantine-and-rebuild.
+inline constexpr int kPlanStoreFormatVersion = 2;
 
 class PlanStore {
   public:
@@ -58,11 +60,12 @@ class PlanStore {
 
     /// Fetches @p key's plan from disk, binding it to @p trace (which must
     /// be the trace @p key was computed from; get_or_build guarantees this).
+    /// The restored plan *shares* @p trace — no deep copy on the hit path.
     /// Returns nullptr on a clean miss (no entry).  Invalid entries of every
     /// flavor are quarantined to `.bad` and reported as a miss — this never
     /// throws and never returns a plan whose identity differs from @p key.
-    std::shared_ptr<const ReplayPlan> load(const PlanKey& key,
-                                           const et::ExecutionTrace& trace) const;
+    std::shared_ptr<const ReplayPlan>
+    load(const PlanKey& key, std::shared_ptr<const et::ExecutionTrace> trace) const;
 
     /// Serializes @p plan (which must carry the full key it is stored
     /// under) and atomically publishes the entry, creating the directory if

@@ -40,6 +40,13 @@ struct ReconstructedOp {
     std::optional<int> stream;
     /// Generated IR text (kept for codegen and debugging).
     std::string ir_text;
+    /// Index into the plan's fused_groups(), or -1 when the op executes
+    /// standalone.  Set by the plan optimizer; members keep their kind (and
+    /// thus their coverage accounting) — only execution is redirected.
+    int fused_group = -1;
+    /// True for the first member of its group: the hot loop executes the
+    /// whole group there and skips the remaining members.
+    bool fused_head = false;
 };
 
 /// Builds callables for selected nodes; owns the compilation unit.

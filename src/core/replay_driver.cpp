@@ -76,8 +76,10 @@ ReplayDriver::replay_one(Worker& worker, const et::TraceDatabase& db,
     const prof::ProfilerTrace* prof =
         profs != nullptr && rep < profs->size() ? (*profs)[rep] : nullptr;
 
+    // trace_handle: the plan shares the database's trace — a disk-tier hit
+    // costs one parse + IR compile, never an O(trace) deep copy.
     const std::shared_ptr<const ReplayPlan> plan =
-        cache_->get_or_build(db.trace(rep), prof, cfg_);
+        cache_->get_or_build(db.trace_handle(rep), prof, cfg_);
 
     // Every group replays from identical session state (clocks, RNG, device,
     // pg-id space) so the result is a pure function of (plan, config) — the
@@ -176,6 +178,8 @@ ReplayDriver::replay_groups(const et::TraceDatabase& db, std::size_t top_k,
                      "[mystique]   plan cache: hits=%llu misses=%llu disk_hits=%llu "
                      "disk_misses=%llu builds=%llu writebacks=%llu evictions=%llu "
                      "size=%zu/%zu\n"
+                     "[mystique]   optimizer: chains=%llu ops_fused=%llu "
+                     "ops_eliminated=%llu optimize_us=%.1f (builds only)\n"
                      "[mystique]   arena: hits=%llu misses=%llu returns=%llu "
                      "cached=%lld B outstanding=%lld B (max worker peak %lld B)\n",
                      out.groups.size(), parallelism_, out.weighted_mean_iter_us,
@@ -187,6 +191,10 @@ ReplayDriver::replay_groups(const et::TraceDatabase& db, std::size_t top_k,
                      static_cast<unsigned long long>(out.cache.writebacks),
                      static_cast<unsigned long long>(out.cache.evictions),
                      out.cache.size, out.cache.capacity,
+                     static_cast<unsigned long long>(out.cache.opt_chains_formed),
+                     static_cast<unsigned long long>(out.cache.opt_ops_fused),
+                     static_cast<unsigned long long>(out.cache.opt_ops_eliminated),
+                     out.cache.opt_time_us,
                      static_cast<unsigned long long>(out.arena.hits),
                      static_cast<unsigned long long>(out.arena.misses),
                      static_cast<unsigned long long>(out.arena.returns),

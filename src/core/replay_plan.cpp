@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
 
@@ -49,6 +50,15 @@ category_from_name(const std::string& name)
 
 } // namespace
 
+int
+default_opt_level()
+{
+    const char* env = std::getenv("MYST_OPT_LEVEL");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    return std::atoi(env);
+}
+
 uint64_t
 ReplayConfig::fingerprint() const
 {
@@ -69,6 +79,7 @@ ReplayConfig::fingerprint() const
     for (const auto& name : custom)
         h.mix(name);
     h.mix_pod(emulate_world_size);
+    h.mix_pod(opt_level);
     return h.value();
 }
 
@@ -105,6 +116,7 @@ ReplayConfig::to_json() const
         custom_j.push_back(Json(name));
     j.set("custom_ops", std::move(custom_j));
     j.set("emulate_world_size", Json(emulate_world_size));
+    j.set("opt_level", Json(opt_level));
     j.set("collect_profiler", Json(collect_profiler));
     return j;
 }
@@ -146,6 +158,8 @@ ReplayConfig::from_json(const Json& j)
             cfg.custom_ops.register_op(n);
     }
     cfg.emulate_world_size = static_cast<int>(j.at("emulate_world_size").as_int());
+    // Pre-optimizer documents carry no opt_level: they were verbatim plans.
+    cfg.opt_level = static_cast<int>(j.get_int("opt_level", 0));
     cfg.collect_profiler = j.at("collect_profiler").as_bool();
     return cfg;
 }
@@ -263,14 +277,33 @@ std::shared_ptr<const ReplayPlan>
 ReplayPlan::build(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
                   const ReplayConfig& cfg)
 {
-    return build_impl(nullptr, &trace, prof, cfg, nullptr);
+    return build_impl(nullptr, std::make_shared<et::ExecutionTrace>(trace), prof, cfg,
+                      nullptr);
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::build(std::shared_ptr<const et::ExecutionTrace> trace,
+                  const prof::ProfilerTrace* prof, const ReplayConfig& cfg)
+{
+    MYST_CHECK(trace != nullptr);
+    return build_impl(nullptr, std::move(trace), prof, cfg, nullptr);
 }
 
 std::shared_ptr<const ReplayPlan>
 ReplayPlan::build_with_key(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
                            const ReplayConfig& cfg, const PlanKey& key)
 {
-    return build_impl(nullptr, &trace, prof, cfg, &key);
+    return build_impl(nullptr, std::make_shared<et::ExecutionTrace>(trace), prof, cfg,
+                      &key);
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::build_with_key(std::shared_ptr<const et::ExecutionTrace> trace,
+                           const prof::ProfilerTrace* prof, const ReplayConfig& cfg,
+                           const PlanKey& key)
+{
+    MYST_CHECK(trace != nullptr);
+    return build_impl(nullptr, std::move(trace), prof, cfg, &key);
 }
 
 std::shared_ptr<const ReplayPlan>
@@ -281,7 +314,8 @@ ReplayPlan::build_borrowing(const et::ExecutionTrace& trace, const prof::Profile
 }
 
 std::shared_ptr<const ReplayPlan>
-ReplayPlan::build_impl(const et::ExecutionTrace* borrowed, const et::ExecutionTrace* copied,
+ReplayPlan::build_impl(const et::ExecutionTrace* borrowed,
+                       std::shared_ptr<const et::ExecutionTrace> owned,
                        const prof::ProfilerTrace* prof, const ReplayConfig& cfg,
                        const PlanKey* precomputed_key)
 {
@@ -290,8 +324,8 @@ ReplayPlan::build_impl(const et::ExecutionTrace* borrowed, const et::ExecutionTr
     if (borrowed != nullptr) {
         plan->trace_ = borrowed;
     } else {
-        plan->owned_trace_ = *copied; // private copy: plan outlives caller's trace
-        plan->trace_ = &plan->owned_trace_;
+        plan->owned_trace_ = std::move(owned); // shared: plan outlives caller's handle
+        plan->trace_ = plan->owned_trace_.get();
     }
     const et::ExecutionTrace& trace = *plan->trace_;
     if (precomputed_key != nullptr) {
@@ -330,6 +364,11 @@ ReplayPlan::build_impl(const et::ExecutionTrace* borrowed, const et::ExecutionTr
         }
         plan->ops_.push_back(std::move(op));
     }
+
+    // Optimizer pipeline (opt_level > 0): runs once here, so the cost is
+    // paid at build time and every warm cache hit replays pre-fused.
+    if (cfg.opt_level > 0)
+        plan->opt_stats_ = optimize_plan(plan->ops_, plan->fused_groups_);
     return plan;
 }
 
@@ -422,16 +461,58 @@ ReplayPlan::to_json() const
     }
     j.set("ir_table", std::move(ir_table));
     j.set("ops", std::move(ops));
+
+    // Fused groups (opt_level > 0 builds only).  Members are op indices;
+    // stages, metas and descs are deterministic derivations from the trace
+    // (finalize_group), so only the discovery result crosses the boundary.
+    // The "identity" / "optimizer" blocks are informational re-derivations —
+    // from_json recomputes both, keeping to_json∘from_json lossless.
+    if (!fused_groups_.empty()) {
+        Json groups = Json::array();
+        for (const FusedGroup& g : fused_groups_) {
+            Json gj = Json::object();
+            Json members = Json::array();
+            for (const int m : g.members)
+                members.push_back(Json(static_cast<int64_t>(m)));
+            gj.set("members", std::move(members));
+            if (g.dead)
+                gj.set("dead", Json(true));
+            Json identity = Json::array();
+            for (std::size_t k = 0; k < g.stages.size(); ++k) {
+                if (g.stages[k].identity)
+                    identity.push_back(Json(static_cast<int64_t>(k)));
+            }
+            if (!identity.as_array().empty())
+                gj.set("identity", std::move(identity));
+            groups.push_back(std::move(gj));
+        }
+        j.set("fused_groups", std::move(groups));
+        const OptimizerStats derived = derive_optimizer_stats(fused_groups_);
+        Json opt = Json::object();
+        opt.set("ops_fused", Json(derived.ops_fused));
+        opt.set("ops_eliminated", Json(derived.ops_eliminated));
+        opt.set("chains_formed", Json(derived.chains_formed));
+        opt.set("ops_simplified", Json(derived.ops_simplified));
+        j.set("optimizer", std::move(opt));
+    }
     return j;
 }
 
 std::shared_ptr<const ReplayPlan>
 ReplayPlan::from_json(const Json& j, const et::ExecutionTrace& trace)
 {
+    // Private copy: self-contained, like build().
+    return from_json(j, std::make_shared<et::ExecutionTrace>(trace));
+}
+
+std::shared_ptr<const ReplayPlan>
+ReplayPlan::from_json(const Json& j, std::shared_ptr<const et::ExecutionTrace> trace)
+{
+    MYST_CHECK(trace != nullptr);
     fw::ensure_ops_registered();
     auto plan = std::shared_ptr<ReplayPlan>(new ReplayPlan());
-    plan->owned_trace_ = trace; // private copy: self-contained, like build()
-    plan->trace_ = &plan->owned_trace_;
+    plan->owned_trace_ = std::move(trace); // shared: self-contained, zero-copy
+    plan->trace_ = plan->owned_trace_.get();
     plan->key_ = PlanKey::from_json(j.at("key"));
     // Only full-provenance documents deserialize: a partial key means this
     // JSON is a one-shot Replayer dump (plan_to_json for inspection), not a
@@ -554,6 +635,34 @@ ReplayPlan::from_json(const Json& j, const et::ExecutionTrace& trace)
         if (const Json* stream = o.find("stream"))
             op.stream = static_cast<int>(stream->as_int());
         plan->ops_.push_back(std::move(op));
+    }
+
+    // Fused groups: the document is trusted for *what* was grouped (member
+    // indices + dead flag); everything executable — stages, kernel descs,
+    // metas — is re-derived from the trace by finalize_group, which throws
+    // ParseError on any member that is not legally fusable.  A tampered or
+    // stale document therefore quarantines instead of replaying wrong.
+    if (const Json* groups_j = j.find("fused_groups")) {
+        // One shared consumer-count scan: restores sit on the disk-hit fast
+        // path, where a per-group scan would be quadratic in plan size.
+        const ConsumerCounts counts = consumer_counts(plan->ops_);
+        for (const Json& gj : groups_j->as_array()) {
+            FusedGroup g;
+            for (const Json& m : gj.at("members").as_array())
+                g.members.push_back(static_cast<int>(m.as_int()));
+            g.dead = gj.get_bool("dead", false);
+            finalize_group(plan->ops_, g, &counts);
+            const int gid = static_cast<int>(plan->fused_groups_.size());
+            for (const int m : g.members) {
+                ReconstructedOp& op = plan->ops_[static_cast<std::size_t>(m)];
+                if (op.fused_group >= 0)
+                    MYST_THROW(ParseError, "plan json: op in two fused groups");
+                op.fused_group = gid;
+            }
+            plan->ops_[static_cast<std::size_t>(g.members.front())].fused_head = true;
+            plan->fused_groups_.push_back(std::move(g));
+        }
+        plan->opt_stats_ = derive_optimizer_stats(plan->fused_groups_);
     }
     return plan;
 }

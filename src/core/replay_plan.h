@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/plan_optimizer.h"
 #include "core/reconstruction.h"
 #include "core/selection.h"
 #include "core/tensor_manager.h"
@@ -40,6 +41,10 @@
 #include "profiler/profiler.h"
 
 namespace mystique::core {
+
+/// Default optimizer level: MYST_OPT_LEVEL when set, else 1 (optimizer on).
+/// Read per call so tests can flip the environment between builds.
+int default_opt_level();
 
 /// Replay configuration.
 struct ReplayConfig {
@@ -63,6 +68,12 @@ struct ReplayConfig {
     /// -1 = emulate the *original* group sizes from the trace metadata;
     /// >0 = emulate this world size.
     int emulate_world_size = 0;
+
+    /// Plan-level optimizer (core/plan_optimizer): 0 = verbatim plans,
+    /// > 0 = dead-op elimination + algebraic simplify + pointwise-chain
+    /// fusion at build time.  Part of fingerprint(): optimized and verbatim
+    /// plans never alias in the memory or disk tier.
+    int opt_level = default_opt_level();
 
     /// Collect a profiler trace of the replay run (needed for similarity).
     bool collect_profiler = true;
@@ -146,6 +157,14 @@ class ReplayPlan {
     build(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
           const ReplayConfig& cfg);
 
+    /// Same build phase, but the plan *shares* @p trace instead of deep-
+    /// copying it — the zero-copy path for callers that already hold traces
+    /// in shared ownership (TraceDatabase, the disk tier).  Self-containment
+    /// is preserved: the plan keeps the trace alive via its own reference.
+    static std::shared_ptr<const ReplayPlan>
+    build(std::shared_ptr<const et::ExecutionTrace> trace, const prof::ProfilerTrace* prof,
+          const ReplayConfig& cfg);
+
     /// Same build phase, but *borrows* @p trace instead of copying it — the
     /// one-shot path (direct Replayer construction) where the caller's trace
     /// outlives the plan and a deep copy of a production-sized trace would
@@ -161,6 +180,10 @@ class ReplayPlan {
     const Selection& selection() const { return selection_; }
     const CoverageStats& coverage() const { return coverage_; }
     const std::vector<ReconstructedOp>& ops() const { return ops_; }
+    /// Fused execution groups produced by the plan optimizer (empty at
+    /// opt_level 0); ReconstructedOp::fused_group indexes into this.
+    const std::vector<FusedGroup>& fused_groups() const { return fused_groups_; }
+    const OptimizerStats& optimizer_stats() const { return opt_stats_; }
     /// The identity the plan was built under.  Plans from build() /
     /// the PlanCache carry the full key; borrowed one-shot plans carry only
     /// the cheap components (config_fp, has_prof) — the expensive trace and
@@ -175,6 +198,12 @@ class ReplayPlan {
     static std::shared_ptr<const ReplayPlan>
     build_with_key(const et::ExecutionTrace& trace, const prof::ProfilerTrace* prof,
                    const ReplayConfig& cfg, const PlanKey& key);
+
+    /// Shared-ownership spelling of build_with_key() (see build() above).
+    static std::shared_ptr<const ReplayPlan>
+    build_with_key(std::shared_ptr<const et::ExecutionTrace> trace,
+                   const prof::ProfilerTrace* prof, const ReplayConfig& cfg,
+                   const PlanKey& key);
 
     /// Serializes the plan — key, selection, coverage, and every
     /// reconstructed op (kind, stream assignment, generated IR text) — as the
@@ -191,21 +220,34 @@ class ReplayPlan {
     static std::shared_ptr<const ReplayPlan> from_json(const Json& j,
                                                        const et::ExecutionTrace& trace);
 
+    /// Shared-ownership spelling: the restored plan *shares* @p trace
+    /// instead of deep-copying it.  This is the disk-hit fast path — a
+    /// store load re-uses the trace the cache caller already holds, so a
+    /// restore costs one parse + one IR compile per distinct text and zero
+    /// trace copies (the copy used to be the single largest line item).
+    static std::shared_ptr<const ReplayPlan>
+    from_json(const Json& j, std::shared_ptr<const et::ExecutionTrace> trace);
+
   private:
     ReplayPlan() = default;
 
     static std::shared_ptr<const ReplayPlan>
-    build_impl(const et::ExecutionTrace* borrowed, const et::ExecutionTrace* copied,
+    build_impl(const et::ExecutionTrace* borrowed,
+               std::shared_ptr<const et::ExecutionTrace> owned,
                const prof::ProfilerTrace* prof, const ReplayConfig& cfg,
                const PlanKey* precomputed_key);
 
-    et::ExecutionTrace owned_trace_;          ///< populated by build() only
-    const et::ExecutionTrace* trace_ = nullptr; ///< &owned_trace_ or the borrowed trace
+    /// Shared for build()/from_json() plans (self-containment without a
+    /// forced deep copy); null for build_borrowing() one-shots.
+    std::shared_ptr<const et::ExecutionTrace> owned_trace_;
+    const et::ExecutionTrace* trace_ = nullptr; ///< owned_trace_.get() or the borrowed trace
     PlanKey key_;
     Selection selection_;
     CoverageStats coverage_;
     Reconstructor reconstructor_; ///< owns the compiled-IR functions ops_ point at
     std::vector<ReconstructedOp> ops_;
+    std::vector<FusedGroup> fused_groups_;
+    OptimizerStats opt_stats_;
 };
 
 } // namespace mystique::core

@@ -208,6 +208,19 @@ Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>
         for (const auto& op : ops) {
             if (op.kind == ReconstructedOp::Kind::kSkipped)
                 continue;
+            if (op.fused_group >= 0) {
+                // Members replay as one loop-fused interpreter call issued
+                // at the head; the rest of the group is already covered.
+                if (!op.fused_head)
+                    continue;
+                const FusedGroup& group =
+                    plan_->fused_groups()[static_cast<std::size_t>(op.fused_group)];
+                session.switch_thread(group.tid);
+                session.set_stream_override(group.stream);
+                execute_fused_group(session, group, tm);
+                session.set_stream_override(std::nullopt);
+                continue;
+            }
             session.switch_thread(op.node->tid);
             session.set_stream_override(op.stream);
             execute_reconstructed(session, op, tm);

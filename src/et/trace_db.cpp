@@ -12,7 +12,7 @@ namespace mystique::et {
 std::size_t
 TraceDatabase::add(ExecutionTrace trace)
 {
-    traces_.push_back(std::move(trace));
+    traces_.push_back(std::make_shared<const ExecutionTrace>(std::move(trace)));
     return traces_.size() - 1;
 }
 
@@ -42,6 +42,13 @@ const ExecutionTrace&
 TraceDatabase::trace(std::size_t index) const
 {
     MYST_CHECK_MSG(index < traces_.size(), "trace index out of range: " << index);
+    return *traces_[index];
+}
+
+std::shared_ptr<const ExecutionTrace>
+TraceDatabase::trace_handle(std::size_t index) const
+{
+    MYST_CHECK_MSG(index < traces_.size(), "trace index out of range: " << index);
     return traces_[index];
 }
 
@@ -50,11 +57,11 @@ TraceDatabase::analyze() const
 {
     std::unordered_map<uint64_t, TraceGroup> groups;
     for (std::size_t i = 0; i < traces_.size(); ++i) {
-        const uint64_t fp = traces_[i].fingerprint();
+        const uint64_t fp = traces_[i]->fingerprint();
         auto& g = groups[fp];
         g.fingerprint = fp;
         if (g.members.empty())
-            g.representative_workload = traces_[i].meta().workload;
+            g.representative_workload = traces_[i]->meta().workload;
         g.members.push_back(i);
     }
     std::vector<TraceGroup> out;

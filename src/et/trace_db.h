@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,10 @@ class TraceDatabase {
     std::size_t size() const { return traces_.size(); }
     const ExecutionTrace& trace(std::size_t index) const;
 
+    /// Shared handle to a trace — replay plans built over it share ownership
+    /// instead of deep-copying (the PlanCache's zero-copy get_or_build).
+    std::shared_ptr<const ExecutionTrace> trace_handle(std::size_t index) const;
+
     /// Groups traces by fingerprint and computes population weights,
     /// sorted by weight descending.
     std::vector<TraceGroup> analyze() const;
@@ -58,7 +63,9 @@ class TraceDatabase {
     std::vector<std::size_t> select_top(std::size_t top_k) const;
 
   private:
-    std::vector<ExecutionTrace> traces_;
+    /// Traces live behind shared_ptr so plans can share them (and so the
+    /// vector can grow without invalidating outstanding handles).
+    std::vector<std::shared_ptr<const ExecutionTrace>> traces_;
 };
 
 /// Normalization applied by the ET builder before replay.

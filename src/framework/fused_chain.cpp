@@ -1,0 +1,285 @@
+#include "framework/fused_chain.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/error.h"
+#include "framework/op_registry.h"
+
+namespace mystique::fw {
+
+namespace {
+
+// Allowlist in FusedKernel order (indexable by static_cast<int>(kernel)).
+// family / n_tensor_inputs / flops_per_elem mirror ops_pointwise.cpp exactly:
+// the prebuilt KernelDesc must be byte-equal to what the verbatim op builds.
+constexpr FusedKernelInfo kInfos[] = {
+    {FusedKernel::kAdd, "aten::add.Tensor", "add", 2, 1.0, true, false, true},
+    {FusedKernel::kSub, "aten::sub.Tensor", "sub", 2, 1.0, true, false, true},
+    {FusedKernel::kMul, "aten::mul.Tensor", "mul", 2, 1.0, false, false, true},
+    {FusedKernel::kMulScalar, "aten::mul.Scalar", "muls", 1, 1.0, false, true, false},
+    {FusedKernel::kDiv, "aten::div.Tensor", "div", 2, 1.0, false, false, false},
+    {FusedKernel::kRelu, "aten::relu", "relu", 1, 1.0, false, false, false},
+    {FusedKernel::kSigmoid, "aten::sigmoid", "sigmoid", 1, 4.0, false, false, false},
+    {FusedKernel::kTanh, "aten::tanh", "tanh", 1, 4.0, false, false, false},
+    {FusedKernel::kExp, "aten::exp", "exp", 1, 4.0, false, false, false},
+    {FusedKernel::kGelu, "aten::gelu", "gelu", 1, 8.0, false, false, false},
+    {FusedKernel::kReluBwd, "aten::threshold_backward", "relu_bwd", 2, 1.0, false,
+     false, false},
+    {FusedKernel::kSigmoidBwd, "aten::sigmoid_backward", "sigmoid_bwd", 2, 1.0, false,
+     false, false},
+    {FusedKernel::kTanhBwd, "aten::tanh_backward", "tanh_bwd", 2, 1.0, false, false,
+     false},
+    {FusedKernel::kGeluBwd, "aten::gelu_backward", "gelu_bwd", 2, 1.0, false, false,
+     false},
+    {FusedKernel::kBatchNorm, "aten::batch_norm", "batch_norm", 3, 8.0, false, false,
+     false, /*norm_head=*/true},
+};
+
+constexpr std::size_t kNumKernels = sizeof(kInfos) / sizeof(kInfos[0]);
+
+// OpId -> allowlist entry, built once.  OpIds are dense registry indices, so
+// a flat vector gives O(1) steady-state lookups with no string hashing.
+const std::vector<const FusedKernelInfo*>&
+op_id_table()
+{
+    static const std::vector<const FusedKernelInfo*> table = [] {
+        ensure_ops_registered();
+        std::vector<const FusedKernelInfo*> t;
+        for (const auto& info : kInfos) {
+            const OpId id = OpRegistry::instance().at(info.op_name).id;
+            if (static_cast<std::size_t>(id) >= t.size())
+                t.resize(static_cast<std::size_t>(id) + 1, nullptr);
+            t[static_cast<std::size_t>(id)] = &info;
+        }
+        return t;
+    }();
+    return table;
+}
+
+// The chain being executed by the current fused_pointwise dispatch.  The op
+// takes no IValue inputs (per-member tensors would defeat the point); the
+// replayer stages the call here instead.  Sessions are single-threaded per
+// rank, so thread-local is the same isolation Session itself relies on.
+thread_local FusedChainCall* tl_call = nullptr;
+
+inline float
+apply_stage(const FusedStage& st, float acc, const float* b, int64_t i)
+{
+    // Mirrors math.cpp formulas literally — bit-identity depends on it.
+    switch (st.kernel) {
+      case FusedKernel::kAdd:
+        return st.operand_numel == st.numel ? acc + st.alpha * b[i]
+                                            : acc + st.alpha * b[i % st.operand_numel];
+      case FusedKernel::kSub:
+        return st.operand_numel == st.numel
+                   ? acc - st.alpha * b[i]
+                   : acc + (-st.alpha) * b[i % st.operand_numel];
+      case FusedKernel::kMul:
+        return st.operand_numel == st.numel ? acc * b[i] : acc * b[i % st.operand_numel];
+      case FusedKernel::kMulScalar:
+        return acc * st.alpha;
+      case FusedKernel::kDiv:
+        return acc / b[i];
+      case FusedKernel::kRelu:
+        return acc > 0.0f ? acc : 0.0f;
+      case FusedKernel::kSigmoid:
+        return 1.0f / (1.0f + std::exp(-acc));
+      case FusedKernel::kTanh:
+        return std::tanh(acc);
+      case FusedKernel::kExp:
+        return std::exp(acc);
+      case FusedKernel::kGelu:
+        return 0.5f * acc * (1.0f + std::erf(acc * 0.70710678f));
+      case FusedKernel::kReluBwd:
+        return b[i] > 0.0f ? acc : 0.0f;
+      case FusedKernel::kSigmoidBwd:
+        return acc * b[i] * (1.0f - b[i]);
+      case FusedKernel::kTanhBwd:
+        return acc * (1.0f - b[i] * b[i]);
+      case FusedKernel::kGeluBwd: {
+        constexpr float kInvSqrt2 = 0.70710678f;
+        constexpr float kInvSqrt2Pi = 0.39894228f;
+        const float x = b[i];
+        const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+        const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+        return acc * (cdf + x * pdf);
+      }
+      case FusedKernel::kBatchNorm:
+        break; // head-only; handled inline in run_numeric
+    }
+    return acc;
+}
+
+void
+run_numeric(FusedChainCall& call)
+{
+    // One pass over the data: acc lives in a register across the whole
+    // chain; the verbatim path writes/reads an arena tensor per link.
+    thread_local std::vector<const float*> operand_ptrs;
+    operand_ptrs.clear();
+    std::size_t oi = 0;
+    for (std::size_t k = 0; k < call.n_stages; ++k) {
+        operand_ptrs.push_back(call.stages[k].n_operands > 0
+                                   ? call.operands[oi].f32()
+                                   : nullptr);
+        oi += static_cast<std::size_t>(call.stages[k].n_operands);
+    }
+    const float* in = call.input.f32();
+    float* out = call.out.f32();
+    const int64_t numel = call.stages[0].numel;
+
+    // batch_norm head: replicate math::batch_norm bit-for-bit — per-channel
+    // double-accumulated batch stats over the *input* tensor (same summation
+    // order), then the same float affine expression per element.
+    const bool bn_head = call.stages[0].kernel == FusedKernel::kBatchNorm;
+    thread_local std::vector<float> bn_mean, bn_inv;
+    const float* bn_gamma = nullptr;
+    const float* bn_beta = nullptr;
+    int64_t bn_spatial = 0, bn_channels = 0;
+    if (bn_head) {
+        const FusedStage& st = call.stages[0];
+        bn_channels = st.channels;
+        bn_spatial = st.spatial;
+        bn_gamma = call.operands[0].f32();
+        bn_beta = call.operands[1].f32();
+        const int64_t batch = numel / (bn_channels * bn_spatial);
+        const int64_t count = batch * bn_spatial;
+        bn_mean.resize(static_cast<std::size_t>(bn_channels));
+        bn_inv.resize(static_cast<std::size_t>(bn_channels));
+        for (int64_t ci = 0; ci < bn_channels; ++ci) {
+            double mean = 0.0;
+            for (int64_t ni = 0; ni < batch; ++ni)
+                for (int64_t sp = 0; sp < bn_spatial; ++sp)
+                    mean += static_cast<double>(
+                        in[(ni * bn_channels + ci) * bn_spatial + sp]);
+            mean /= static_cast<double>(count);
+            double var = 0.0;
+            for (int64_t ni = 0; ni < batch; ++ni)
+                for (int64_t sp = 0; sp < bn_spatial; ++sp) {
+                    const double d =
+                        static_cast<double>(
+                            in[(ni * bn_channels + ci) * bn_spatial + sp]) -
+                        mean;
+                    var += d * d;
+                }
+            var /= static_cast<double>(count);
+            bn_mean[static_cast<std::size_t>(ci)] = static_cast<float>(mean);
+            bn_inv[static_cast<std::size_t>(ci)] =
+                1.0f / std::sqrt(static_cast<float>(var) + st.alpha);
+        }
+    }
+
+    for (int64_t i = 0; i < numel; ++i) {
+        float acc;
+        std::size_t k = 0;
+        if (bn_head) {
+            const auto ci = static_cast<std::size_t>((i / bn_spatial) % bn_channels);
+            acc = (in[i] - bn_mean[ci]) * bn_inv[ci] * bn_gamma[ci] + bn_beta[ci];
+            k = 1;
+        } else {
+            acc = in[i];
+        }
+        for (; k < call.n_stages; ++k) {
+            const FusedStage& st = call.stages[k];
+            if (st.identity)
+                continue;
+            acc = apply_stage(st, acc, operand_ptrs[k], i);
+        }
+        out[i] = acc;
+    }
+}
+
+std::vector<IValue>
+fused_chain_exec(Session& s, const std::vector<IValue>&)
+{
+    FusedChainCall* call = tl_call;
+    MYST_CHECK_MSG(call != nullptr,
+                   "mystique::fused_pointwise is replayer-internal: stage a "
+                   "FusedChainCall via run_fused_chain()");
+
+    if (!call->dead) {
+        call->out = s.alloc(call->out_shape);
+        if (s.numeric())
+            run_numeric(*call);
+    }
+
+    // Replicate the verbatim timeline: per member, the same host dispatch
+    // charge (member 0's is paid by this op's own dispatch) and the same
+    // device launch — identical KernelDesc, launch order and jitter draws.
+    // start_at chains each launch behind its predecessor exactly like the
+    // intermediate tensors' ready timestamps did.
+    const double per_op_dispatch =
+        s.options().platform.dispatch_us * s.options().dispatch.op_cost_scale;
+    std::optional<double> start_at;
+    std::size_t oi = 0;
+    thread_local std::vector<Tensor> ins;
+    static const std::vector<Tensor> kNoOutputs;
+    for (std::size_t k = 0; k < call->n_stages; ++k) {
+        const FusedStage& st = call->stages[k];
+        if (k > 0)
+            s.cpu_advance(per_op_dispatch);
+        ins.clear();
+        if (k == 0)
+            ins.push_back(call->input);
+        for (int t = 0; t < st.n_operands; ++t)
+            ins.push_back(call->operands[oi++]);
+        const bool last = k + 1 == call->n_stages;
+        const auto& rec = s.launch(st.desc, dev::kComputeStream, ins,
+                                   last && !call->dead
+                                       ? std::vector<Tensor>{call->out}
+                                       : kNoOutputs,
+                                   std::nullopt, start_at);
+        start_at = rec.interval.end;
+    }
+    ins.clear();
+    return {};
+}
+
+} // namespace
+
+const FusedKernelInfo*
+fused_kernel_info(OpId op)
+{
+    const auto& table = op_id_table();
+    const auto idx = static_cast<std::size_t>(op);
+    return idx < table.size() ? table[idx] : nullptr;
+}
+
+const FusedKernelInfo&
+fused_kernel_info(FusedKernel k)
+{
+    const auto idx = static_cast<std::size_t>(k);
+    MYST_CHECK(idx < kNumKernels);
+    return kInfos[idx];
+}
+
+OpId
+fused_chain_op_id()
+{
+    return MYST_OP("mystique::fused_pointwise");
+}
+
+void
+register_fused_chain_op(OpRegistry& reg)
+{
+    // Schemaless + kFused keeps it out of SupportedSet::build (§4.3.4), so
+    // registering it does not perturb supported-op fingerprints.
+    reg.register_op({.name = "mystique::fused_pointwise",
+                     .schema = "",
+                     .category = dev::OpCategory::kFused,
+                     .fn = fused_chain_exec,
+                     .backward = {},
+                     .grad_name = {}});
+}
+
+void
+run_fused_chain(Session& s, FusedChainCall& call)
+{
+    MYST_CHECK_MSG(call.n_stages > 0, "fused chain without stages");
+    tl_call = &call;
+    s.call(fused_chain_op_id(), {});
+    tl_call = nullptr;
+}
+
+} // namespace mystique::fw

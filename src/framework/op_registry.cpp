@@ -82,6 +82,8 @@ void register_embedding_ops(OpRegistry&);
 void register_creation_ops(OpRegistry&);
 void register_comm_ops(OpRegistry&);
 void register_custom_ops(OpRegistry&);
+// Implemented in fused_chain.cpp.
+void register_fused_chain_op(OpRegistry&);
 
 void
 ensure_ops_registered()
@@ -99,6 +101,7 @@ ensure_ops_registered()
         register_creation_ops(reg);
         register_comm_ops(reg);
         register_custom_ops(reg);
+        register_fused_chain_op(reg);
     });
 }
 

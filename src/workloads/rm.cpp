@@ -79,11 +79,19 @@ class Rm final : public Workload {
         const int64_t f = local_tables_ + 1; // embeddings + dense vector
         // The custom interaction kernel emits [B, emb_dim + f*f].
         const int64_t interact_dim = dims_.emb_dim + f * f;
-        // Gated top blocks: three parallel linears feeding a fused
-        // mul+add+relu (a production adaptation over open-source DLRM).
+        // Gated top blocks: three parallel linears feeding a gating unit
+        // (a production adaptation over open-source DLRM).  Only the last
+        // block goes through the JIT fuser; the earlier ones execute the
+        // gate as eager pointwise ops — sigmoid+mul+add+relu — so in the
+        // production config the trace carries both the Fused (schemaless,
+        // replay-skipped per §4.3.4) and the eager ATen form of the same
+        // gating pattern.
         top_in_.emplace_back(s, interact_dim, dims_.top_hidden);
         top_gate_.emplace_back(s, interact_dim, dims_.top_hidden);
         top_skip_.emplace_back(s, interact_dim, dims_.top_hidden);
+        top_in_.emplace_back(s, dims_.top_hidden, dims_.top_hidden);
+        top_gate_.emplace_back(s, dims_.top_hidden, dims_.top_hidden);
+        top_skip_.emplace_back(s, dims_.top_hidden, dims_.top_hidden);
         top_in_.emplace_back(s, dims_.top_hidden, dims_.top_hidden);
         top_gate_.emplace_back(s, dims_.top_hidden, dims_.top_hidden);
         top_skip_.emplace_back(s, dims_.top_hidden, dims_.top_hidden);
@@ -214,7 +222,15 @@ class Rm final : public Workload {
                 fw::Tensor h = top_in_[i].forward(s, x);
                 fw::Tensor g = top_gate_[i].forward(s, x);
                 fw::Tensor skip = top_skip_[i].forward(s, x);
-                x = fw::fused_mul_add_relu(s, h, g, skip);
+                if (i + 1 < top_in_.size()) {
+                    // Eager sigmoid gate: the fuser bails on these blocks.
+                    fw::Tensor gate = fw::F::sigmoid(s, g);
+                    x = fw::F::mul(s, gate, h);
+                    x = fw::F::add(s, x, skip);
+                    x = fw::F::relu(s, x);
+                } else {
+                    x = fw::fused_mul_add_relu(s, h, g, skip);
+                }
             }
             logits = top_out_->forward(s, x);
         }

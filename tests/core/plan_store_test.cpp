@@ -344,6 +344,18 @@ TEST_F(PlanStoreCorruption, StaleSchemaVersionQuarantinesAndRebuilds)
     expect_quarantine_and_rebuild(entry);
 }
 
+TEST_F(PlanStoreCorruption, PreOptimizerV1EntryQuarantinesAndRebuilds)
+{
+    // An entry written by a v1 (pre-plan-optimizer) build: plans serialized
+    // before fused groups existed must quarantine and rebuild, never replay
+    // under the current schema.
+    const std::string entry = seed_entry();
+    Json doc = Json::parse_file(entry);
+    doc.set("format_version", Json(int64_t{1}));
+    doc.dump_file(entry);
+    expect_quarantine_and_rebuild(entry);
+}
+
 TEST_F(PlanStoreCorruption, TamperedPlanContentFailsTheRecordedHash)
 {
     const std::string entry = seed_entry();
@@ -441,7 +453,9 @@ TEST(PlanStoreApi, MissingDirectoryIsACleanMiss)
     const auto& r0 = traced("param_linear").rank0();
     const ReplayConfig cfg = tiny_replay();
     PlanStore store((fs::temp_directory_path() / "myst_plan_store_never_created").string());
-    EXPECT_EQ(store.load(plan_key(r0.trace, &r0.prof, cfg), r0.trace), nullptr);
+    EXPECT_EQ(store.load(plan_key(r0.trace, &r0.prof, cfg),
+                         std::make_shared<et::ExecutionTrace>(r0.trace)),
+              nullptr);
 }
 
 TEST(PlanStoreApi, EntryPathEncodesTheFullKeyTuple)
