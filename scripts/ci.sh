@@ -50,6 +50,20 @@ MYST_ARENA_POISON=1 ctest --output-on-failure -j "$(nproc)"
 echo "== verbatim-plan (MYST_OPT_LEVEL=0) test pass =="
 MYST_OPT_LEVEL=0 ctest --output-on-failure -j "$(nproc)"
 
+# Fuzz smoke corpus: fixed-seed randomized traces through the differential
+# oracle (replay-vs-direct, opt-level invariance, plan round-trip, key
+# stability, K=1-vs-K=4 sweep bit-identity).  Fixed seed => deterministic
+# corpus; failures print `--case <seed>` repro lines.  MYST_FUZZ_ITERS
+# cranks the corpus size for longer scheduled runs (see docs/fuzzing.md).
+echo "== fuzz smoke corpus =="
+./mystique-fuzz --seed 7 --iters "${MYST_FUZZ_ITERS:-25}"
+
+# Fault-injection churn: every registered fault site fires under 8-thread
+# plan-cache churn, with poisoned arena recycling for good measure — never
+# a crash, never a torn file, never a wrong plan, and the store heals.
+echo "== fault-injection churn =="
+MYST_ARENA_POISON=1 ./mystique-fuzz --seed 7 --churn
+
 # Docs must not drift from the code: every env var, symbol, and file path
 # referenced from README.md / docs/ has to exist in the tree.
 echo "== doc-link check =="

@@ -7,10 +7,12 @@
 #include <system_error>
 
 #include "common/error.h"
+#include "common/fault_injection.h"
 
 #ifdef _WIN32
 #include <process.h>
 #else
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -25,6 +27,51 @@ process_id()
     return static_cast<long>(_getpid());
 #else
     return static_cast<long>(::getpid());
+#endif
+}
+
+/// Removes the staged temp file on every exit path that did not publish it —
+/// including exceptions thrown *between* the write and the rename (fault
+/// injection, bad_alloc).  A crashed process can still leave a turd (nothing
+/// runs then), but no *thrown* error may: callers retry writes in a loop, and
+/// a turd per failure would accumulate into real disk pressure.
+class TmpFileGuard {
+  public:
+    explicit TmpFileGuard(std::filesystem::path tmp) : tmp_(std::move(tmp)) {}
+    ~TmpFileGuard()
+    {
+        if (!committed_) {
+            std::error_code ec;
+            std::filesystem::remove(tmp_, ec);
+        }
+    }
+    void commit() { committed_ = true; }
+
+  private:
+    std::filesystem::path tmp_;
+    bool committed_ = false;
+};
+
+/// Flushes the temp file's bytes to stable storage before the publishing
+/// rename.  Without this a power loss shortly after the rename can leave the
+/// *target* name pointing at zero-length or partial data on some filesystems
+/// — exactly the torn file the rename was supposed to make impossible.
+void
+sync_file(const std::filesystem::path& path)
+{
+    if (FaultInjection::instance().should_fail("fs.write_fsync"))
+        MYST_THROW(MystiqueError,
+                   "injected fault: fsync of '" + path.string() + "' failed");
+#ifndef _WIN32
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        MYST_THROW(MystiqueError, "atomic_write_file: cannot reopen '" + path.string() +
+                                      "' for fsync");
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+        MYST_THROW(MystiqueError, "atomic_write_file: fsync of '" + path.string() +
+                                      "' failed");
 #endif
 }
 
@@ -46,27 +93,41 @@ atomic_write_file(const std::string& path, std::string_view content)
     static std::atomic<uint64_t> counter{0};
     const fs::path tmp = target.string() + ".tmp." + std::to_string(process_id()) + "." +
                          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+    TmpFileGuard guard(tmp);
 
+    if (FaultInjection::instance().should_fail("fs.write_open"))
+        MYST_THROW(MystiqueError,
+                   "injected fault: cannot open '" + tmp.string() + "' for writing");
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             MYST_THROW(MystiqueError, "atomic_write_file: cannot open '" + tmp.string() +
                                           "' for writing");
+        if (FaultInjection::instance().should_fail("fs.write_short")) {
+            // Model a disk-full / killed-writer short write: half the bytes
+            // land, then the write errors out.  The guard must reap the
+            // partial temp file; the target stays untouched.
+            out.write(content.data(), static_cast<std::streamsize>(content.size() / 2));
+            out.flush();
+            MYST_THROW(MystiqueError,
+                       "injected fault: short write to '" + tmp.string() + "'");
+        }
         out.write(content.data(), static_cast<std::streamsize>(content.size()));
         out.flush();
-        if (!out) {
-            out.close();
-            fs::remove(tmp, ec);
+        if (!out)
             MYST_THROW(MystiqueError,
                        "atomic_write_file: short write to '" + tmp.string() + "'");
-        }
     }
 
+    sync_file(tmp);
+
+    if (FaultInjection::instance().should_fail("fs.rename"))
+        MYST_THROW(MystiqueError,
+                   "injected fault: cannot rename into '" + path + "'");
     fs::rename(tmp, target, ec);
-    if (ec) {
-        fs::remove(tmp, ec);
+    if (ec)
         MYST_THROW(MystiqueError, "atomic_write_file: cannot rename into '" + path + "'");
-    }
+    guard.commit();
 }
 
 std::string
@@ -75,6 +136,8 @@ read_file(const std::string& path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         MYST_THROW(ParseError, "cannot open file '" + path + "'");
+    if (FaultInjection::instance().should_fail("fs.read"))
+        MYST_THROW(ParseError, "injected fault: cannot read file '" + path + "'");
     in.seekg(0, std::ios::end);
     const std::streampos end = in.tellg();
     if (end < 0)

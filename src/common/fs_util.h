@@ -6,9 +6,14 @@
 /// The one contract that matters here is *atomic publication*: a reader must
 /// never observe a half-written file.  POSIX rename() within one filesystem
 /// is atomic, so atomic_write_file() stages content in a uniquely-named temp
-/// file next to the target and renames it into place — concurrent writers of
-/// the same path race benignly (last rename wins, both contents complete),
-/// and a crash mid-write leaves only a `.tmp.*` turd, never a torn target.
+/// file next to the target, fsyncs it, and renames it into place —
+/// concurrent writers of the same path race benignly (last rename wins, both
+/// contents complete), and a crash mid-write leaves only a `.tmp.*` turd,
+/// never a torn target.  Every *thrown* failure path reaps its own temp file
+/// (only a process crash can leak one), and each failure-prone step carries
+/// a fault-injection site (`fs.write_open`, `fs.write_short`,
+/// `fs.write_fsync`, `fs.rename`, `fs.read` — see common/fault_injection.h)
+/// so tests can prove both properties instead of assuming them.
 
 #include <string>
 #include <string_view>

@@ -361,12 +361,31 @@ class Parser {
         }
     }
 
+    /// Containers recurse through parse_value(); a hostile or corrupt
+    /// document ("[[[[…", a mangled store entry) must exhaust this budget
+    /// and throw ParseError — which the persistence layers quarantine —
+    /// instead of overflowing the C++ stack and killing the process.  Real
+    /// traces and plans nest a handful of levels; 256 is two orders of
+    /// margin.
+    static constexpr int kMaxDepth = 256;
+
+    struct DepthScope {
+        explicit DepthScope(Parser& p) : parser(p)
+        {
+            if (++parser.depth_ > kMaxDepth)
+                parser.fail("nesting depth exceeds " + std::to_string(kMaxDepth));
+        }
+        ~DepthScope() { --parser.depth_; }
+        Parser& parser;
+    };
+
     // Members collect in a local container (one move into the Json at the
     // end) — going through Json::as_object()/as_array() per element costs a
     // type check and an extra indirection on the hottest parser loop.
 
     Json parse_object()
     {
+        const DepthScope depth(*this);
         expect('{');
         Json::Object members;
         skip_ws();
@@ -393,6 +412,7 @@ class Parser {
 
     Json parse_array()
     {
+        const DepthScope depth(*this);
         expect('[');
         Json::Array elements;
         skip_ws();
@@ -538,6 +558,7 @@ class Parser {
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0; ///< current container nesting; capped at kMaxDepth
 };
 
 } // namespace

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/fault_injection.h"
+
 namespace mystique {
 
-ThreadPool::ThreadPool(std::size_t threads)
+ThreadPool::ThreadPool(std::size_t threads, const char* fault_delay_site)
+    : fault_delay_site_(fault_delay_site)
 {
     const std::size_t n = std::max<std::size_t>(1, threads);
     threads_.reserve(n);
@@ -27,7 +30,7 @@ ThreadPool::~ThreadPool()
 ThreadPool&
 ThreadPool::background()
 {
-    static ThreadPool pool(2);
+    static ThreadPool pool(2, "pool.background_delay");
     return pool;
 }
 
@@ -59,6 +62,8 @@ ThreadPool::worker_loop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        if (fault_delay_site_ != nullptr)
+            FaultInjection::instance().maybe_delay(fault_delay_site_);
         task(); // exceptions land in the task's future
     }
 }

@@ -27,7 +27,12 @@ namespace mystique {
 class ThreadPool {
   public:
     /// Spawns @p threads workers (clamped to at least 1).
-    explicit ThreadPool(std::size_t threads);
+    /// @param fault_delay_site  optional fault-injection site name
+    ///        (common/fault_injection.h) evaluated before each task runs —
+    ///        arming it in kDelay mode stalls workers to widen race windows.
+    ///        The background() pool registers "pool.background_delay";
+    ///        replay pools pass nothing and stay deterministic.
+    explicit ThreadPool(std::size_t threads, const char* fault_delay_site = nullptr);
 
     /// Blocks until every submitted task has run, then joins the workers.
     ~ThreadPool();
@@ -57,6 +62,7 @@ class ThreadPool {
     std::condition_variable cv_;
     std::deque<std::packaged_task<void()>> queue_;
     bool stop_ = false;
+    const char* fault_delay_site_ = nullptr;
     std::vector<std::thread> threads_;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/fault_injection.h"
 #include "common/fs_util.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -60,6 +61,11 @@ PlanStore::load(const PlanKey& key, std::shared_ptr<const et::ExecutionTrace> tr
 
     try {
         const std::string text = read_file(path);
+        // Injectable corruption between read and parse (MYST_FAULT
+        // store.load): exercises the quarantine path on entries whose bytes
+        // arrive damaged, independent of how they got damaged.
+        if (FaultInjection::instance().should_fail("store.load"))
+            MYST_THROW(ParseError, "injected fault: plan store entry unreadable");
         const Json entry = Json::parse(text); // throws on truncated/zero-byte/garbage
         if (entry.get_string("format", "") != kEntryFormat)
             MYST_THROW(ParseError, "plan store entry: not a plan-store entry");
@@ -116,6 +122,8 @@ bool
 PlanStore::store(const ReplayPlan& plan) const
 {
     try {
+        if (FaultInjection::instance().should_fail("store.writeback"))
+            MYST_THROW(MystiqueError, "injected fault: plan store writeback failed");
         const std::string plan_text = plan.to_json().dump();
         Json head = Json::object();
         head.set("format", Json(kEntryFormat));

@@ -1,0 +1,210 @@
+#include "testing/differential.h"
+
+#include <exception>
+#include <sstream>
+
+#include "core/plan_cache.h"
+#include "core/replay_driver.h"
+#include "core/replayer.h"
+#include "et/trace_db.h"
+
+namespace mystique::testing {
+
+namespace {
+
+using core::PlanCache;
+using core::ReplayConfig;
+using core::ReplayDriver;
+using core::Replayer;
+using core::ReplayResult;
+
+/// Bitwise ReplayResult comparison; returns "" on equality, else the first
+/// divergence.  Exact double equality is intentional — see the file comment.
+std::string
+compare_results(const ReplayResult& a, const ReplayResult& b)
+{
+    std::ostringstream why;
+    if (a.iter_us != b.iter_us) {
+        why << "iter_us diverge (" << a.iter_us.size() << " vs " << b.iter_us.size()
+            << " iterations";
+        for (std::size_t i = 0; i < a.iter_us.size() && i < b.iter_us.size(); ++i) {
+            if (a.iter_us[i] != b.iter_us[i]) {
+                why << "; first at iter " << i << ": " << a.iter_us[i] << " vs "
+                    << b.iter_us[i];
+                break;
+            }
+        }
+        why << ")";
+        return why.str();
+    }
+    if (a.mean_iter_us != b.mean_iter_us)
+        return "mean_iter_us diverges";
+    if (a.prof.kernels().size() != b.prof.kernels().size()) {
+        why << "kernel count " << a.prof.kernels().size() << " vs "
+            << b.prof.kernels().size();
+        return why.str();
+    }
+    for (std::size_t i = 0; i < a.prof.kernels().size(); ++i) {
+        const prof::KernelEvent& x = a.prof.kernels()[i];
+        const prof::KernelEvent& y = b.prof.kernels()[i];
+        if (x.name != y.name || x.ts != y.ts || x.dur != y.dur || x.stream != y.stream) {
+            why << "kernel " << i << " diverges: " << x.name << "@" << x.ts << "+" << x.dur
+                << " s" << x.stream << " vs " << y.name << "@" << y.ts << "+" << y.dur
+                << " s" << y.stream;
+            return why.str();
+        }
+    }
+    if (a.coverage.selected_ops != b.coverage.selected_ops ||
+        a.coverage.supported_ops != b.coverage.supported_ops)
+        return "coverage diverges";
+    return {};
+}
+
+const prof::ProfilerTrace*
+prof_of(const FuzzedCase& c)
+{
+    return c.use_prof ? &c.prof : nullptr;
+}
+
+} // namespace
+
+void
+DifferentialOracle::finish_check(uint64_t seed, const char* check, std::string detail)
+{
+    ++counters_.checks;
+    if (detail.empty())
+        return;
+    ++counters_.mismatches;
+    failures_.push_back({seed, check, std::move(detail)});
+}
+
+void
+DifferentialOracle::check_case(const FuzzedCase& c)
+{
+    ++counters_.traces;
+
+    // 4. PlanKey stability: pure function of inputs, invariant under a trace
+    // JSON round-trip (the fingerprint contract of et/trace.h).
+    finish_check(c.seed, "plan-key", [&]() -> std::string {
+        try {
+            const core::PlanKey k1 = core::plan_key(c.trace, prof_of(c), c.cfg);
+            const core::PlanKey k2 = core::plan_key(c.trace, prof_of(c), c.cfg);
+            if (k1 != k2)
+                return "plan_key not deterministic across calls";
+            const et::ExecutionTrace round = et::ExecutionTrace::from_json(c.trace.to_json());
+            if (round.structural_fingerprint() != c.trace.structural_fingerprint())
+                return "structural fingerprint changed across trace JSON round-trip";
+            if (core::plan_key(round, prof_of(c), c.cfg) != k1)
+                return "plan key changed across trace JSON round-trip";
+            return {};
+        } catch (const std::exception& e) {
+            return std::string("threw: ") + e.what();
+        }
+    }());
+
+    // 3. Plan JSON round-trip fidelity: byte-identical re-serialization and
+    // an unchanged key.
+    finish_check(c.seed, "plan-roundtrip", [&]() -> std::string {
+        try {
+            const auto plan = core::ReplayPlan::build(c.trace, prof_of(c), c.cfg);
+            const Json j = plan->to_json();
+            const auto restored = core::ReplayPlan::from_json(j, c.trace);
+            if (restored->key() != plan->key())
+                return "restored plan carries a different key";
+            if (restored->to_json().dump() != j.dump())
+                return "restored plan re-serializes differently";
+            return {};
+        } catch (const std::exception& e) {
+            return std::string("threw: ") + e.what();
+        }
+    }());
+
+    // 1. Replay-vs-direct: borrowed one-shot plan vs PlanCache-built plan.
+    // The cache is private with the disk tier pinned off, so an ambient
+    // MYST_PLAN_CACHE_DIR cannot leak foreign entries into the comparison.
+    finish_check(c.seed, "replay-vs-direct", [&]() -> std::string {
+        try {
+            const ReplayResult direct = Replayer(c.trace, prof_of(c), c.cfg).run();
+            PlanCache cache(4);
+            cache.set_store_dir("");
+            const auto plan = cache.get_or_build(c.trace, prof_of(c), c.cfg);
+            const ReplayResult cached = Replayer(plan, c.cfg).run();
+            return compare_results(direct, cached);
+        } catch (const std::exception& e) {
+            return std::string("threw: ") + e.what();
+        }
+    }());
+
+    // 2. Opt-level invariance: fused/eliminated plans replay the verbatim
+    // timeline, kernel for kernel (plan_optimizer contract).
+    finish_check(c.seed, "opt-level", [&]() -> std::string {
+        try {
+            ReplayConfig cfg0 = c.cfg;
+            cfg0.opt_level = 0;
+            ReplayConfig cfg1 = c.cfg;
+            cfg1.opt_level = 1;
+            const ReplayResult r0 = Replayer(c.trace, prof_of(c), cfg0).run();
+            const ReplayResult r1 = Replayer(c.trace, prof_of(c), cfg1).run();
+            std::string diff = compare_results(r0, r1);
+            if (!diff.empty())
+                diff = "opt_level 0 vs 1: " + diff;
+            return diff;
+        } catch (const std::exception& e) {
+            return std::string("threw: ") + e.what();
+        }
+    }());
+}
+
+void
+DifferentialOracle::check_sweep(const std::vector<FuzzedCase>& cases)
+{
+    if (cases.empty())
+        return;
+    const uint64_t seed = cases.front().seed;
+
+    finish_check(seed, "sweep-parallelism", [&]() -> std::string {
+        try {
+            et::TraceDatabase db;
+            std::vector<const prof::ProfilerTrace*> profs;
+            for (const FuzzedCase& c : cases) {
+                db.add(c.trace);
+                profs.push_back(prof_of(c));
+            }
+
+            // One config for the whole sweep (the driver replays every group
+            // under it); the per-case configs already got their coverage in
+            // check_case.
+            ReplayConfig cfg;
+            cfg.mode = fw::ExecMode::kShapeOnly;
+            cfg.iterations = 2;
+            cfg.warmup_iterations = 1;
+            cfg.opt_level = 1;
+
+            PlanCache cache_seq(64), cache_par(64);
+            cache_seq.set_store_dir("");
+            cache_par.set_store_dir("");
+            ReplayDriver seq(cfg, &cache_seq, 1);
+            ReplayDriver par(cfg, &cache_par, 4);
+            const auto a = seq.replay_groups(db, db.size(), &profs);
+            const auto b = par.replay_groups(db, db.size(), &profs);
+
+            if (a.weighted_mean_iter_us != b.weighted_mean_iter_us)
+                return "weighted mean diverges between K=1 and K=4";
+            if (a.groups.size() != b.groups.size())
+                return "group count diverges between K=1 and K=4";
+            for (std::size_t i = 0; i < a.groups.size(); ++i) {
+                if (a.groups[i].representative != b.groups[i].representative)
+                    return "group " + std::to_string(i) + " representative diverges";
+                std::string diff =
+                    compare_results(a.groups[i].result, b.groups[i].result);
+                if (!diff.empty())
+                    return "group " + std::to_string(i) + " (K=1 vs K=4): " + diff;
+            }
+            return {};
+        } catch (const std::exception& e) {
+            return std::string("threw: ") + e.what();
+        }
+    }());
+}
+
+} // namespace mystique::testing

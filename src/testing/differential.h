@@ -1,0 +1,73 @@
+#pragma once
+
+/// @file
+/// Differential oracle over fuzzed traces.
+///
+/// The fuzzer (testing/trace_fuzzer.h) supplies randomized-but-valid inputs;
+/// this oracle supplies the *judgments* — properties the replay pipeline
+/// promises for every trace, checked bitwise (never with tolerances, because
+/// the simulator is deterministic and "close" would mask real divergence):
+///
+///  1. replay-vs-direct: a one-shot `Replayer(trace, prof, cfg)` (borrowed,
+///     uncached plan) and a replay through a PlanCache-built plan produce
+///     bit-identical results — the cache is an optimization, never a
+///     behavior change.
+///  2. opt-level invariance: plans built at opt_level 0 (verbatim) and 1
+///     (fused/eliminated) replay to identical timelines, kernel for kernel.
+///  3. plan JSON round-trip: `from_json(plan.to_json(), trace)` re-emits the
+///     byte-identical document and carries the same key.
+///  4. PlanKey stability: the key is a pure function of (trace, prof, cfg),
+///     unchanged when the trace itself round-trips through JSON.
+///  5. sweep parallelism (check_sweep): a ReplayDriver database sweep is
+///     bit-identical at parallelism 1 and 4.
+///
+/// Failures carry the generating seed, so any report reproduces with
+/// `mystique-fuzz --seed <seed>`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/trace_fuzzer.h"
+
+namespace mystique::testing {
+
+/// Tally across an oracle's lifetime (the CLI summary line).
+struct DiffCounters {
+    uint64_t traces = 0;     ///< fuzzed cases examined
+    uint64_t checks = 0;     ///< individual differential checks run
+    uint64_t mismatches = 0; ///< checks that failed (== failures().size())
+};
+
+/// One failed check, reproducible from the seed alone.
+struct DiffFailure {
+    uint64_t seed = 0;
+    std::string check;  ///< e.g. "replay-vs-direct", "opt-level"
+    std::string detail; ///< first observed divergence
+};
+
+class DifferentialOracle {
+  public:
+    /// Runs checks 1–4 on one fuzzed case.  An exception thrown anywhere in
+    /// a check (plan build refuses the trace, replay throws) is itself a
+    /// failure — valid-by-construction traces must never crash the pipeline.
+    void check_case(const FuzzedCase& c);
+
+    /// Check 5: sweeps the cases' traces as one database at parallelism 1
+    /// and 4 and compares the merged results bitwise.  Failures are recorded
+    /// under the first case's seed (the sweep is a corpus-level property).
+    void check_sweep(const std::vector<FuzzedCase>& cases);
+
+    const DiffCounters& counters() const { return counters_; }
+    const std::vector<DiffFailure>& failures() const { return failures_; }
+    bool ok() const { return failures_.empty(); }
+
+  private:
+    /// Counts the check; detail.empty() = pass, else records a failure.
+    void finish_check(uint64_t seed, const char* check, std::string detail);
+
+    DiffCounters counters_;
+    std::vector<DiffFailure> failures_;
+};
+
+} // namespace mystique::testing

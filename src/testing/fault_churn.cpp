@@ -1,0 +1,159 @@
+#include "testing/fault_churn.h"
+
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "core/plan_cache.h"
+#include "testing/trace_fuzzer.h"
+
+namespace mystique::testing {
+
+namespace {
+
+/// Distinct traces under churn: enough keys that a capacity-2 cache keeps
+/// evicting (every fetch may consult disk), few enough that every key is
+/// exercised by every thread.
+constexpr int kCases = 3;
+
+const prof::ProfilerTrace*
+prof_of(const FuzzedCase& c)
+{
+    return c.use_prof ? &c.prof : nullptr;
+}
+
+} // namespace
+
+ChurnReport
+run_churn(const std::string& site, const std::string& store_dir, uint64_t seed,
+          int threads, int ops_per_thread)
+{
+    ChurnReport rep;
+    rep.site = site;
+
+    std::vector<FuzzedCase> cases;
+    cases.reserve(kCases);
+    for (uint64_t i = 0; i < kCases; ++i)
+        cases.push_back(generate_case(case_seed(seed, i)));
+
+    // Capacity below the working set: the memory tier thrashes, so disk
+    // loads, quarantines and writebacks happen continuously — not just once.
+    core::PlanCache cache(2);
+    cache.set_store_dir(store_dir);
+
+    FaultInjection& fi = FaultInjection::instance();
+    fi.disarm_all();
+    if (site == "pool.background_delay")
+        fi.arm(site, 5, FaultMode::kDelay); // 5 ms stalls widen race windows
+    else
+        fi.arm(site, 3, FaultMode::kEvery); // every 3rd hit fails
+
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> errs{0};
+    std::mutex detail_mu;
+    std::string first_detail;
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < ops_per_thread; ++i) {
+                const FuzzedCase& c =
+                    cases[static_cast<std::size_t>(t + i) % cases.size()];
+                try {
+                    const auto plan = cache.get_or_build(c.trace, prof_of(c), c.cfg);
+                    // "Never a wrong plan": whatever tier served this — fresh
+                    // build, memory hit, disk load after another thread's
+                    // writeback — it must be a plan over *this* trace.
+                    if (plan == nullptr ||
+                        plan->trace().structural_fingerprint() !=
+                            c.trace.structural_fingerprint())
+                        throw std::runtime_error("cache returned a wrong plan");
+                    // Interleave the cache's other mutating entry points so
+                    // faults land during clears and flushes too.
+                    if (t == 0 && i % 4 == 3)
+                        cache.clear();
+                    if (t == 1 && i % 5 == 4)
+                        cache.flush_writebacks();
+                } catch (const std::exception& e) {
+                    ++errs;
+                    std::lock_guard<std::mutex> lock(detail_mu);
+                    if (first_detail.empty())
+                        first_detail = std::string("thread ") + std::to_string(t) +
+                                       " op " + std::to_string(i) + ": " + e.what();
+                }
+                ++ops;
+            }
+        });
+    }
+    for (std::thread& w : workers)
+        w.join();
+
+    rep.operations = ops.load();
+    rep.exceptions = errs.load();
+    rep.faults_fired = fi.total_fired(); // before disarm_all clears counters
+    fi.disarm_all();
+
+    // Heal pass: rebuild every key once (quarantined or never-persisted
+    // entries get built and written back), then wait for the writebacks.
+    cache.clear();
+    for (const FuzzedCase& c : cases)
+        cache.get_or_build(c.trace, prof_of(c), c.cfg);
+    cache.flush_writebacks();
+
+    // Assert pass: with the store healed, a fresh sweep must be pure disk
+    // hits — zero builds.
+    cache.clear();
+    const uint64_t builds_before = cache.stats().builds;
+    for (const FuzzedCase& c : cases)
+        cache.get_or_build(c.trace, prof_of(c), c.cfg);
+    cache.flush_writebacks();
+    rep.heal_builds = cache.stats().builds - builds_before;
+    rep.healed = rep.heal_builds == 0;
+
+    // Directory audit: `.tmp.*` turds are forbidden on every failure path;
+    // `.bad` quarantines are the designed outcome of unreadable entries.
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(store_dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") != std::string::npos)
+            ++rep.tmp_files;
+        else if (name.size() > 4 && name.compare(name.size() - 4, 4, ".bad") == 0)
+            ++rep.quarantined;
+    }
+
+    if (!rep.ok() && rep.detail.empty()) {
+        if (!first_detail.empty())
+            rep.detail = first_detail;
+        else if (rep.tmp_files > 0)
+            rep.detail = std::to_string(rep.tmp_files) + " leftover .tmp.* file(s)";
+        else if (!rep.healed)
+            rep.detail = "store did not heal: " + std::to_string(rep.heal_builds) +
+                         " build(s) on the post-heal sweep";
+    }
+    return rep;
+}
+
+std::vector<ChurnReport>
+run_churn_all(const std::string& store_root, uint64_t seed, int threads,
+              int ops_per_thread)
+{
+    std::vector<ChurnReport> reports;
+    for (const std::string& site : fault_sites()) {
+        std::string dir = store_root;
+        // One subdirectory per site: audits stay independent.
+        std::string sub = site;
+        for (char& ch : sub)
+            if (ch == '.')
+                ch = '_';
+        dir += "/" + sub;
+        std::filesystem::create_directories(dir);
+        reports.push_back(run_churn(site, dir, seed, threads, ops_per_thread));
+    }
+    return reports;
+}
+
+} // namespace mystique::testing

@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file
+/// Fault-injection churn: the durability half of the robustness harness.
+///
+/// For one registered fault site (common/fault_injection.h), run_churn()
+/// hammers a private two-tier PlanCache from N threads — get_or_build /
+/// clear / flush_writebacks over fuzzed traces — while the site fires
+/// repeatedly, then disarms and verifies the full recovery contract:
+///
+///  - **never a crash**: no injected fault escapes the cache API as an
+///    exception (writeback failures are absorbed, unreadable entries
+///    quarantine and rebuild);
+///  - **never a torn file**: the store directory holds zero `.tmp.*` files
+///    afterwards (`.bad` quarantines are legitimate);
+///  - **never a wrong plan**: every plan fetched during churn replays the
+///    same trace it was requested for (key identity is re-checked);
+///  - **heals**: after one clean rebuild pass, a fresh sweep of every key is
+///    served entirely from disk — builds == 0.
+///
+/// Shared by tests/testing/fault_churn_test.cpp and `mystique-fuzz --churn`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mystique::testing {
+
+/// Outcome of one site's churn run.
+struct ChurnReport {
+    std::string site;
+    uint64_t operations = 0;   ///< cache fetches completed across all threads
+    uint64_t faults_fired = 0; ///< injections this run actually triggered
+    uint64_t exceptions = 0;   ///< faults that leaked out of the cache API
+    uint64_t tmp_files = 0;    ///< leftover `.tmp.*` turds in the store dir
+    uint64_t quarantined = 0;  ///< `.bad` files (allowed; informational)
+    uint64_t heal_builds = 0;  ///< builds during the post-heal clean sweep
+    bool healed = false;       ///< clean sweep was all disk hits
+    std::string detail;        ///< first failure description when !ok()
+
+    bool ok() const { return exceptions == 0 && tmp_files == 0 && healed; }
+};
+
+/// Churns @p site over a PlanCache persisted at @p store_dir.  @p seed feeds
+/// the trace fuzzer (distinct traces per run are derived from it), so a
+/// failing (site, seed) pair reproduces exactly.  Arms the site itself and
+/// disarms all sites on return.
+ChurnReport run_churn(const std::string& site, const std::string& store_dir,
+                      uint64_t seed, int threads = 8, int ops_per_thread = 12);
+
+/// run_churn() over every registered fault site; each site gets a private
+/// subdirectory of @p store_root.
+std::vector<ChurnReport> run_churn_all(const std::string& store_root, uint64_t seed,
+                                       int threads = 8, int ops_per_thread = 12);
+
+} // namespace mystique::testing

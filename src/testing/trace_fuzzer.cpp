@@ -1,0 +1,294 @@
+#include "testing/trace_fuzzer.h"
+
+#include <memory>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "common/rng.h"
+#include "framework/functional.h"
+#include "framework/nn.h"
+#include "framework/session.h"
+#include "workloads/input_gen.h"
+
+namespace mystique::testing {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates neighboring corpus indices and keeps
+/// `--seed N` and `--seed N+1` from generating near-identical programs.
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// One step of the random program.  kChain is the fusion-legality stressor:
+/// runs of unary/binary pointwise ops of random length, exactly what the plan
+/// optimizer tries to fuse (and must not fuse across non-pointwise breaks).
+struct Instr {
+    enum Kind { kChain, kLinear, kMm, kEmbedding, kScope, kCollective };
+    Kind kind = kChain;
+    std::vector<int> chain; ///< pointwise op selectors (kChain / kScope)
+    int layer = 0;          ///< linear-layer index (kLinear)
+    int collective = 0;     ///< 0 = all_reduce, 1 = all_to_all (kCollective)
+    std::string scope_name; ///< wrapper name (kScope)
+};
+
+/// Everything generate_case() derives from the seed, fixed before any
+/// Session exists.  A single Rng stream with a fixed draw order makes the
+/// whole spec — and therefore the recorded trace — a pure function of seed.
+struct Spec {
+    fw::ExecMode mode = fw::ExecMode::kNumeric;
+    int64_t batch = 4;
+    int64_t hidden = 8;
+    int n_layers = 0; ///< pre-created Linear layers available to kLinear
+    bool use_embedding = false;
+    int64_t rows = 64;
+    bool use_collective = false;
+    bool use_backward = false;
+    std::vector<Instr> instrs;
+
+    // Replay-config axes.
+    bool filter_subtrace = false;
+    int only_category = -1; ///< -1 = none, else dev::OpCategory ordinal
+    int emulate_world_size = 0;
+    bool use_prof = true;
+    uint64_t session_seed = 0;
+    uint64_t replay_seed = 0;
+};
+
+Spec
+derive_spec(uint64_t seed)
+{
+    Rng rng(mix64(seed));
+    Spec spec;
+
+    // Numeric mode runs real math, so keep tensors small; shape-only mode
+    // costs nothing per element, so let shapes roam to vary kernel timing.
+    spec.mode = rng.uniform() < 0.5 ? fw::ExecMode::kNumeric : fw::ExecMode::kShapeOnly;
+    const bool numeric = spec.mode == fw::ExecMode::kNumeric;
+    spec.batch = rng.uniform_int(2, numeric ? 6 : 48);
+    spec.hidden = rng.uniform_int(2, numeric ? 12 : 64);
+    spec.n_layers = static_cast<int>(rng.uniform_int(0, 3));
+    spec.use_embedding = rng.uniform() < 0.4;
+    spec.rows = rng.uniform_int(16, 256);
+    spec.use_collective = rng.uniform() < 0.35;
+
+    const int n_instr = static_cast<int>(rng.uniform_int(2, 9));
+    bool has_collective = false;
+    for (int i = 0; i < n_instr; ++i) {
+        Instr instr;
+        const double pick = rng.uniform();
+        if (pick < 0.40) {
+            instr.kind = Instr::kChain;
+        } else if (pick < 0.55 && spec.n_layers > 0) {
+            instr.kind = Instr::kLinear;
+            instr.layer = static_cast<int>(rng.uniform_int(0, spec.n_layers - 1));
+        } else if (pick < 0.65) {
+            instr.kind = Instr::kMm;
+        } else if (pick < 0.75 && spec.use_embedding) {
+            instr.kind = Instr::kEmbedding;
+        } else if (pick < 0.85 && spec.use_collective) {
+            instr.kind = Instr::kCollective;
+            instr.collective = static_cast<int>(rng.uniform_int(0, 1));
+            has_collective = true;
+        } else {
+            instr.kind = Instr::kScope;
+            instr.scope_name = "## blk" + std::to_string(i) + " ##";
+        }
+        if (instr.kind == Instr::kChain || instr.kind == Instr::kScope) {
+            const int len = static_cast<int>(rng.uniform_int(1, 8));
+            for (int j = 0; j < len; ++j)
+                instr.chain.push_back(static_cast<int>(rng.uniform_int(0, 5)));
+        }
+        spec.instrs.push_back(std::move(instr));
+    }
+    spec.use_collective = has_collective; // only pay the fabric when used
+
+    // Autograd doubles the op stream (tape walk on the autograd thread).
+    // Collectives stay forward-only here: c10d ops don't register tape
+    // entries, so a backward through one would find no graph past it.
+    spec.use_backward = rng.uniform() < 0.5 && !has_collective;
+
+    spec.filter_subtrace = rng.uniform() < 0.25;
+    const double cat = rng.uniform();
+    if (cat < 0.10)
+        spec.only_category = static_cast<int>(dev::OpCategory::kATen);
+    else if (cat < 0.18 && has_collective)
+        spec.only_category = static_cast<int>(dev::OpCategory::kComm);
+    spec.emulate_world_size = has_collective && rng.uniform() < 0.3 ? -1 : 0;
+    spec.use_prof = rng.uniform() < 0.75;
+    spec.session_seed = rng.next_u64();
+    spec.replay_seed = rng.next_u64();
+    return spec;
+}
+
+/// Pre-created model state (parameters must exist before the observer
+/// attaches, like any real workload's setup phase).
+struct Model {
+    std::vector<fw::nn::Linear> layers;
+    fw::Tensor mm_weight;
+    fw::Tensor operand; ///< second input for binary pointwise ops
+    fw::Tensor table;   ///< embedding rows (when used)
+};
+
+Model
+build_model(fw::Session& s, const Spec& spec)
+{
+    Model m;
+    for (int i = 0; i < spec.n_layers; ++i)
+        m.layers.emplace_back(s, spec.hidden, spec.hidden);
+    m.mm_weight = fw::nn::make_parameter(s, {spec.hidden, spec.hidden});
+    m.operand = fw::nn::make_parameter(s, {spec.batch, spec.hidden});
+    if (spec.use_embedding)
+        m.table = fw::nn::make_parameter(s, {spec.rows, spec.hidden});
+    return m;
+}
+
+/// One iteration of the random program — shared verbatim between the warmup
+/// and the recorded iteration, as real harnesses do (workloads/harness.cpp).
+void
+run_iteration(fw::Session& s, const Spec& spec, Model& m)
+{
+    fw::RecordFunction root(s, "## fuzz ##");
+    fw::Tensor x = fw::F::to_device(s, wl::host_float(s, {spec.batch, spec.hidden}));
+
+    auto chain = [&](const std::vector<int>& ops) {
+        for (int op : ops) {
+            switch (op) {
+            case 0: x = fw::F::relu(s, x); break;
+            case 1: x = fw::F::sigmoid(s, x); break;
+            case 2: x = fw::F::tanh(s, x); break;
+            case 3: x = fw::F::add(s, x, m.operand); break;
+            case 4: x = fw::F::mul(s, x, m.operand); break;
+            default: x = fw::F::add(s, x, x, 0.5); break;
+            }
+        }
+    };
+
+    for (const Instr& instr : spec.instrs) {
+        switch (instr.kind) {
+        case Instr::kChain:
+            chain(instr.chain);
+            break;
+        case Instr::kLinear:
+            x = m.layers[static_cast<std::size_t>(instr.layer)].forward(s, x);
+            break;
+        case Instr::kMm:
+            x = fw::F::mm(s, x, m.mm_weight);
+            break;
+        case Instr::kEmbedding: {
+            fw::Tensor idx = wl::host_indices(s, spec.batch * 4, spec.rows);
+            fw::Tensor off = wl::host_offsets(s, spec.batch, idx.numel());
+            fw::Tensor pooled = fw::F::embedding_bag(s, m.table, fw::F::to_device(s, idx),
+                                                     fw::F::to_device(s, off));
+            x = fw::F::add(s, x, pooled);
+            break;
+        }
+        case Instr::kScope: {
+            fw::RecordFunction rf(s, instr.scope_name);
+            chain(instr.chain);
+            break;
+        }
+        case Instr::kCollective:
+            x = instr.collective == 0 ? fw::F::all_reduce(s, x, 0)
+                                      : fw::F::all_to_all(s, x, 0);
+            break;
+        }
+    }
+
+    if (spec.use_backward) {
+        fw::Tensor loss = s.call_t(MYST_OP("aten::mean"), {fw::IValue(x)});
+        s.backward(loss);
+    }
+}
+
+} // namespace
+
+uint64_t
+case_seed(uint64_t base_seed, uint64_t index)
+{
+    return mix64(base_seed + 0x632BE59BD9B4E019ull * (index + 1));
+}
+
+FuzzedCase
+generate_case(uint64_t seed)
+{
+    const Spec spec = derive_spec(seed);
+
+    fw::SessionOptions opts;
+    opts.mode = spec.mode;
+    opts.seed = spec.session_seed;
+    fw::Session session(opts);
+
+    std::shared_ptr<comm::CommFabric> fabric;
+    if (spec.use_collective) {
+        fabric = std::make_shared<comm::CommFabric>(1);
+        session.add_process_group(
+            0, std::make_shared<comm::ProcessGroup>(fabric, fabric->world_group(), 0));
+    }
+
+    Model model = build_model(session, spec);
+
+    run_iteration(session, spec, model); // warmup, untraced
+    session.sync_device();
+
+    et::ExecutionTraceObserver obs;
+    prof::ProfilerSession profiler;
+    session.attach_et_observer(&obs);
+    session.attach_profiler(&profiler);
+
+    et::TraceMeta meta;
+    meta.workload = "fuzz";
+    meta.platform = "A100";
+    meta.rank = 0;
+    meta.world_size = 1;
+    meta.iteration = 1;
+    meta.seed = seed;
+    meta.process_groups = session.process_group_defs();
+    obs.set_meta(meta);
+    obs.start();
+    profiler.start();
+    run_iteration(session, spec, model);
+    session.sync_device();
+    obs.stop();
+    profiler.stop();
+
+    FuzzedCase c;
+    c.seed = seed;
+    c.trace = obs.take_trace();
+    c.prof = profiler.take_trace();
+    c.use_prof = spec.use_prof;
+
+    c.cfg.platform = "A100";
+    c.cfg.mode = spec.mode;
+    c.cfg.iterations = 2;
+    c.cfg.warmup_iterations = 1;
+    c.cfg.seed = spec.replay_seed;
+    // Pinned (not default_opt_level()) so an ambient MYST_OPT_LEVEL cannot
+    // make the same seed mean two different cases; the differential oracle
+    // overrides this field explicitly for its opt-level check.
+    c.cfg.opt_level = 1;
+    if (spec.filter_subtrace)
+        c.cfg.filter.subtrace_root = "## fuzz ##";
+    if (spec.only_category >= 0)
+        c.cfg.filter.only_category = static_cast<dev::OpCategory>(spec.only_category);
+    c.cfg.emulate_world_size = spec.emulate_world_size;
+
+    c.summary = "seed=" + std::to_string(seed) +
+                (spec.mode == fw::ExecMode::kNumeric ? " numeric" : " shape-only") +
+                " B=" + std::to_string(spec.batch) + " H=" + std::to_string(spec.hidden) +
+                " instrs=" + std::to_string(spec.instrs.size()) +
+                " nodes=" + std::to_string(c.trace.size()) +
+                (spec.use_backward ? " backward" : "") +
+                (spec.use_collective ? " comm" : "") +
+                (spec.use_embedding ? " emb" : "") + (c.use_prof ? " prof" : "") +
+                (spec.filter_subtrace ? " subtrace" : "") +
+                (spec.only_category >= 0 ? " cat-filter" : "");
+    return c;
+}
+
+} // namespace mystique::testing

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file
+/// Seeded, deterministic generator of randomized-but-valid execution traces.
+///
+/// The automated-benchmark-generation literature's core caveat applies to
+/// Mystique too: generated benchmarks are only trustworthy with an
+/// independent validity oracle.  The fuzzer is the *input half* of that
+/// oracle (core/… checks are the other half, see testing/differential.h):
+/// from a single uint64 seed it derives a random operator program — varying
+/// shapes, op mixes, pointwise-chain lengths (the plan optimizer's fusion
+/// legality surface), embedding lookups, collectives, wrapper scopes,
+/// autograd use, execution mode, stream maps and selection filters — runs it
+/// on a real recording Session, and hands back the captured ExecutionTrace +
+/// ProfilerTrace + a matching ReplayConfig.
+///
+/// Every trace is *valid by construction* (it was actually executed, so
+/// schemas, tensor IDs, parent links and process groups are exactly what the
+/// Session records in production) yet randomized along every axis the replay
+/// pipeline fingerprints.  Equal seeds reproduce byte-identical cases: the
+/// whole pipeline below is virtual-time simulation over seeded Rng streams,
+/// so a failing seed printed by the oracle or the `mystique-fuzz` CLI replays
+/// the exact failure anywhere.
+
+#include <cstdint>
+#include <string>
+
+#include "core/replay_plan.h"
+#include "et/trace.h"
+#include "profiler/profiler.h"
+
+namespace mystique::testing {
+
+/// One generated fuzz case: a recorded trace, its profiler trace, and the
+/// replay configuration the differential checks should use.
+struct FuzzedCase {
+    uint64_t seed = 0;
+    et::ExecutionTrace trace;
+    prof::ProfilerTrace prof;
+    /// Whether plan builds should consume `prof` (stream-map variation:
+    /// prof-less builds exercise the default-stream assignment path).
+    bool use_prof = true;
+    core::ReplayConfig cfg;
+    /// One-line human description ("seed=7 numeric ops=42 chains=3 pg ..."),
+    /// printed alongside the seed in failure reports.
+    std::string summary;
+};
+
+/// Deterministically generates one case from @p seed.  Equal seeds produce
+/// traces with equal structural fingerprints and equal configs.
+FuzzedCase generate_case(uint64_t seed);
+
+/// Derives the per-case seed for corpus position @p index under corpus seed
+/// @p base_seed (splitmix-style mix, so neighboring indices decorrelate).
+/// Failure reports print this value — `mystique-fuzz --seed <it>` or
+/// `generate_case(<it>)` reproduces the exact case.
+uint64_t case_seed(uint64_t base_seed, uint64_t index);
+
+} // namespace mystique::testing

@@ -216,5 +216,52 @@ TEST(Json, PrettyPrintIndents)
     EXPECT_NE(text.find("\n    \"a\""), std::string::npos);
 }
 
+TEST(Json, DeeplyNestedArrayThrowsInsteadOfOverflowing)
+{
+    // 10k-deep nesting: without the parser's recursion cap this would
+    // overflow the stack (parse_value recurses per level) — a crash an
+    // adversarial plan-store entry or trace file must not be able to cause.
+    constexpr int kDepth = 10000;
+    std::string doc;
+    doc.reserve(2 * kDepth);
+    for (int i = 0; i < kDepth; ++i)
+        doc += '[';
+    for (int i = 0; i < kDepth; ++i)
+        doc += ']';
+    EXPECT_THROW((void)Json::parse(doc), ParseError);
+}
+
+TEST(Json, DeeplyNestedObjectThrowsInsteadOfOverflowing)
+{
+    constexpr int kDepth = 10000;
+    std::string doc;
+    doc.reserve(8 * kDepth);
+    for (int i = 0; i < kDepth; ++i)
+        doc += "{\"k\":";
+    doc += "0";
+    for (int i = 0; i < kDepth; ++i)
+        doc += '}';
+    EXPECT_THROW((void)Json::parse(doc), ParseError);
+}
+
+TEST(Json, NestingAtTheCapStillParses)
+{
+    // The cap must reject runaway documents, not real ones: 200 levels is
+    // within the documented 256-deep budget and must round-trip fine.
+    constexpr int kDepth = 200;
+    std::string doc;
+    for (int i = 0; i < kDepth; ++i)
+        doc += '[';
+    doc += "42";
+    for (int i = 0; i < kDepth; ++i)
+        doc += ']';
+    Json j = Json::parse(doc);
+    for (int i = 0; i < kDepth; ++i) {
+        Json inner = j.as_array().front();
+        j = std::move(inner);
+    }
+    EXPECT_EQ(j.as_int(), 42);
+}
+
 } // namespace
 } // namespace mystique

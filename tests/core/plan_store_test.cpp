@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/fs_util.h"
 #include "common/hash.h"
 #include "core/plan_cache.h"
@@ -442,6 +443,166 @@ TEST_F(PlanStoreCorruption, ConcurrentFetchWritesBackExactlyOnce)
     (void)verify.get_or_build(r0.trace, &r0.prof, cfg);
     EXPECT_EQ(verify.stats().disk_hits, 1u);
     EXPECT_EQ(verify.stats().builds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected writeback/read matrix (common/fault_injection.h): every
+// injectable I/O failure leaves the store *consistent* — the faulted
+// operation is absorbed or quarantined, no `.tmp.*` staging file survives,
+// and the next fetch rebuilds and re-persists so the store heals.
+// ---------------------------------------------------------------------------
+
+class PlanStoreFaults : public ::testing::Test {
+  protected:
+    ~PlanStoreFaults() override { FaultInjection::instance().disarm_all(); }
+
+    std::size_t count_tmp_files() const
+    {
+        std::size_t n = 0;
+        for (const auto& e : fs::directory_iterator(dir_.path))
+            if (e.path().filename().string().find(".tmp.") != std::string::npos)
+                ++n;
+        return n;
+    }
+
+    std::size_t count_entries() const
+    {
+        std::size_t n = 0;
+        for (const auto& e : fs::directory_iterator(dir_.path))
+            if (e.path().extension() == ".json")
+                ++n;
+        return n;
+    }
+
+    /// Arms @p site, runs one get_or_build + flush (the faulted phase), then
+    /// disarms and asserts: no exception leaked, no temp turd, no published
+    /// entry — and a clean retry persists an entry that serves a fresh cache
+    /// as a disk hit.
+    void expect_writeback_failure_is_absorbed(const char* site)
+    {
+        const auto& r0 = traced("param_linear").rank0();
+        const ReplayConfig cfg = tiny_replay();
+
+        FaultInjection::instance().arm(site, 1, FaultMode::kEvery);
+        {
+            PlanCache cache(8);
+            cache.set_store_dir(dir_.path);
+            std::shared_ptr<const ReplayPlan> plan;
+            // The caller always gets a correct plan; the disk failure is the
+            // store's problem, not the replay's.
+            ASSERT_NO_THROW(plan = cache.get_or_build(r0.trace, &r0.prof, cfg)) << site;
+            ASSERT_NE(plan, nullptr) << site;
+            cache.flush_writebacks(); // fault fires inside this writeback
+        }
+        FaultInjection::instance().disarm_all();
+
+        EXPECT_EQ(count_tmp_files(), 0u) << site << ": staging turd left behind";
+        EXPECT_EQ(count_entries(), 0u) << site << ": partial entry published";
+
+        // Next get rebuilds (nothing usable on disk) and re-persists.
+        PlanCache retry(8);
+        retry.set_store_dir(dir_.path);
+        (void)retry.get_or_build(r0.trace, &r0.prof, cfg);
+        retry.flush_writebacks();
+        EXPECT_EQ(retry.stats().builds, 1u) << site;
+        EXPECT_EQ(retry.stats().writebacks, 1u) << site;
+        sole_entry(dir_.path);
+
+        PlanCache healed(8);
+        healed.set_store_dir(dir_.path);
+        (void)healed.get_or_build(r0.trace, &r0.prof, cfg);
+        EXPECT_EQ(healed.stats().disk_hits, 1u) << site;
+        EXPECT_EQ(healed.stats().builds, 0u) << site;
+    }
+
+    TempStoreDir dir_;
+};
+
+TEST_F(PlanStoreFaults, RenameFailureIsAbsorbedAndStoreHeals)
+{
+    expect_writeback_failure_is_absorbed("fs.rename");
+}
+
+TEST_F(PlanStoreFaults, ShortWriteIsAbsorbedAndStoreHeals)
+{
+    expect_writeback_failure_is_absorbed("fs.write_short");
+}
+
+TEST_F(PlanStoreFaults, FsyncFailureIsAbsorbedAndStoreHeals)
+{
+    expect_writeback_failure_is_absorbed("fs.write_fsync");
+}
+
+TEST_F(PlanStoreFaults, WriteOpenFailureIsAbsorbedAndStoreHeals)
+{
+    expect_writeback_failure_is_absorbed("fs.write_open");
+}
+
+TEST_F(PlanStoreFaults, SerializationFailureIsAbsorbedAndStoreHeals)
+{
+    expect_writeback_failure_is_absorbed("store.writeback");
+}
+
+TEST_F(PlanStoreFaults, ReadFailureQuarantinesRebuildsAndRepersists)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+
+    // Seed a valid entry first.
+    {
+        PlanCache seeder(8);
+        seeder.set_store_dir(dir_.path);
+        (void)seeder.get_or_build(r0.trace, &r0.prof, cfg);
+        seeder.flush_writebacks();
+    }
+    const std::string entry = sole_entry(dir_.path);
+
+    // A fresh cache whose disk read fails mid-flight: the unreadable entry
+    // quarantines, the plan is rebuilt, and the rebuild re-persists.
+    FaultInjection::instance().arm("fs.read", 1, FaultMode::kOnce);
+    PlanCache cache(8);
+    cache.set_store_dir(dir_.path);
+    std::shared_ptr<const ReplayPlan> plan;
+    ASSERT_NO_THROW(plan = cache.get_or_build(r0.trace, &r0.prof, cfg));
+    ASSERT_NE(plan, nullptr);
+    cache.flush_writebacks();
+    FaultInjection::instance().disarm_all();
+
+    EXPECT_EQ(cache.stats().disk_misses, 1u);
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_TRUE(fs::exists(entry + ".bad")) << "unreadable entry not quarantined";
+    EXPECT_EQ(count_tmp_files(), 0u);
+    sole_entry(dir_.path); // the rebuild re-persisted a fresh entry
+
+    PlanCache healed(8);
+    healed.set_store_dir(dir_.path);
+    (void)healed.get_or_build(r0.trace, &r0.prof, cfg);
+    EXPECT_EQ(healed.stats().disk_hits, 1u);
+    EXPECT_EQ(healed.stats().builds, 0u);
+}
+
+TEST_F(PlanStoreFaults, InjectedLoadCorruptionQuarantinesAndRebuilds)
+{
+    const auto& r0 = traced("param_linear").rank0();
+    const ReplayConfig cfg = tiny_replay();
+    {
+        PlanCache seeder(8);
+        seeder.set_store_dir(dir_.path);
+        (void)seeder.get_or_build(r0.trace, &r0.prof, cfg);
+        seeder.flush_writebacks();
+    }
+    const std::string entry = sole_entry(dir_.path);
+
+    FaultInjection::instance().arm("store.load", 1, FaultMode::kOnce);
+    PlanCache cache(8);
+    cache.set_store_dir(dir_.path);
+    ASSERT_NO_THROW((void)cache.get_or_build(r0.trace, &r0.prof, cfg));
+    cache.flush_writebacks();
+    FaultInjection::instance().disarm_all();
+
+    EXPECT_EQ(cache.stats().builds, 1u);
+    EXPECT_TRUE(fs::exists(entry + ".bad"));
+    EXPECT_EQ(count_tmp_files(), 0u);
 }
 
 // ---------------------------------------------------------------------------
