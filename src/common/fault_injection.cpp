@@ -18,9 +18,10 @@ const std::vector<std::string>&
 fault_sites()
 {
     static const std::vector<std::string> sites{
-        "fs.write_open",   "fs.write_short", "fs.write_fsync",
-        "fs.rename",       "fs.read",        "store.load",
-        "store.writeback", "pool.background_delay",
+        "fs.write_open",   "fs.write_short",         "fs.write_fsync",
+        "fs.rename",       "fs.read",                "store.load",
+        "store.writeback", "pool.background_delay",  "sweep.group",
+        "journal.write",   "journal.load",
     };
     return sites;
 }

@@ -24,6 +24,9 @@
 ///   store.load       PlanStore::load: entry bytes arrive corrupted
 ///   store.writeback  PlanStore::store: serialization/write step fails
 ///   pool.background_delay  ThreadPool::background(): worker stalls (ms)
+///   sweep.group      ReplayDriver: one group's replay attempt fails
+///   journal.write    SweepJournal::append: journal publish fails
+///   journal.load     SweepJournal::load: journal bytes arrive unreadable
 ///
 /// ## Arming
 ///

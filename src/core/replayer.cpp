@@ -146,7 +146,7 @@ Replayer::register_process_groups(fw::Session& session,
 }
 
 ReplayResult
-Replayer::run()
+Replayer::run(const CancelToken* cancel)
 {
     fw::SessionOptions opts;
     opts.platform = dev::platform(cfg_.platform);
@@ -158,11 +158,12 @@ Replayer::run()
     opts.dispatch = fw::DispatchProfile::replay();
     fw::Session session(opts);
     auto fabric = std::make_shared<comm::CommFabric>(1);
-    return run_with(session, fabric);
+    return run_with(session, fabric, cancel);
 }
 
 ReplayResult
-Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>& fabric)
+Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>& fabric,
+                   const CancelToken* cancel)
 {
     register_process_groups(session, fabric);
 
@@ -206,6 +207,11 @@ Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>
             timed_start = iter_start;
 
         for (const auto& op : ops) {
+            // Cooperative deadline/cancel point: between ops, never inside
+            // one — a kernel that started always completes, so cancellation
+            // can never tear the simulated device state.
+            if (cancel != nullptr)
+                cancel->throw_if_expired("replay cancelled between ops");
             if (op.kind == ReconstructedOp::Kind::kSkipped)
                 continue;
             if (op.fused_group >= 0) {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "comm/process_group.h"
+#include "common/cancel_token.h"
 #include "core/replay_plan.h"
 #include "core/tensor_manager.h"
 #include "device/device.h"
@@ -74,13 +75,23 @@ class Replayer {
     Replayer(std::shared_ptr<const ReplayPlan> plan, ReplayConfig cfg);
 
     /// Runs a single-rank replay with a private session/fabric.
-    ReplayResult run();
+    /// @param cancel  optional cooperative cancellation/deadline token
+    ///        (see run_with).
+    ReplayResult run(const CancelToken* cancel = nullptr);
 
     /// Runs with an externally-provided session and fabric (distributed
     /// ranks share a fabric; each rank owns a Replayer on its thread).
     /// Leaves the session reusable: the profiler is detached on return.
+    ///
+    /// @param cancel  optional cooperative cancellation token.  Polled
+    ///        *between* replayed ops — never mid-kernel, so the simulator's
+    ///        determinism is preserved up to the cut.  An expired token
+    ///        throws CancelledError at the next op boundary; the session is
+    ///        left in a mid-iteration state and must be reset_for_replay()ed
+    ///        before reuse (the sweep driver always does).
     ReplayResult run_with(fw::Session& session,
-                          const std::shared_ptr<comm::CommFabric>& fabric);
+                          const std::shared_ptr<comm::CommFabric>& fabric,
+                          const CancelToken* cancel = nullptr);
 
     const std::shared_ptr<const ReplayPlan>& plan() const { return plan_; }
     const Selection& selection() const { return plan_->selection(); }

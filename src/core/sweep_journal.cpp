@@ -1,0 +1,245 @@
+#include "core/sweep_journal.h"
+
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/fault_injection.h"
+#include "common/fs_util.h"
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace mystique::core {
+
+namespace {
+
+/// Floating-point journal fields travel as decimal strings of their IEEE-754
+/// bit patterns (same rationale as the PlanKey fingerprints: JSON doubles
+/// would round-trip through a formatter, and a restored weighted mean must be
+/// *bit*-identical to the one the interrupted sweep would have produced).
+uint64_t
+double_to_bits(double v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bits_to_double(uint64_t bits)
+{
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+uint64_t
+u64_field(const Json& j, std::string_view key)
+{
+    const std::string& s = j.at(key).as_string();
+    uint64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        MYST_THROW(ParseError, "sweep journal: bad uint64 field '" << s << "'");
+    return v;
+}
+
+Json
+record_to_json(const SweepJournalRecord& rec)
+{
+    Json j = Json::object();
+    j.set("v", Json(int64_t{1}));
+    j.set("sweep", Json(std::to_string(rec.sweep_fp)));
+    j.set("group", Json(std::to_string(rec.group_fp)));
+    j.set("status", Json(to_string(rec.status)));
+    j.set("attempts", Json(static_cast<int64_t>(rec.attempts)));
+    j.set("weight_bits", Json(std::to_string(double_to_bits(rec.population_weight))));
+    j.set("mean_bits", Json(std::to_string(double_to_bits(rec.mean_iter_us))));
+    Json iters = Json::array();
+    for (double it : rec.iter_us)
+        iters.push_back(Json(std::to_string(double_to_bits(it))));
+    j.set("iter_us_bits", std::move(iters));
+    j.set("error", Json(rec.error));
+    return j;
+}
+
+SweepJournalRecord
+record_from_json(const Json& j)
+{
+    if (j.get_int("v", 0) != 1)
+        MYST_THROW(ParseError, "sweep journal: unknown record version");
+    SweepJournalRecord rec;
+    rec.sweep_fp = u64_field(j, "sweep");
+    rec.group_fp = u64_field(j, "group");
+    rec.status = group_status_from_string(j.at("status").as_string());
+    rec.attempts = static_cast<uint32_t>(j.get_int("attempts", 0));
+    rec.population_weight = bits_to_double(u64_field(j, "weight_bits"));
+    rec.mean_iter_us = bits_to_double(u64_field(j, "mean_bits"));
+    for (const Json& it : j.at("iter_us_bits").as_array()) {
+        uint64_t bits = 0;
+        const std::string& s = it.as_string();
+        const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), bits);
+        if (ec != std::errc() || ptr != s.data() + s.size())
+            MYST_THROW(ParseError, "sweep journal: bad iteration bits '" << s << "'");
+        rec.iter_us.push_back(bits_to_double(bits));
+    }
+    rec.error = j.get_string("error", "");
+    return rec;
+}
+
+} // namespace
+
+const char*
+to_string(GroupStatus status)
+{
+    switch (status) {
+    case GroupStatus::kOk: return "ok";
+    case GroupStatus::kFailed: return "failed";
+    case GroupStatus::kTimedOut: return "timed_out";
+    case GroupStatus::kQuarantined: return "quarantined";
+    case GroupStatus::kSkipped: return "skipped";
+    }
+    return "unknown";
+}
+
+GroupStatus
+group_status_from_string(const std::string& text)
+{
+    for (GroupStatus s : {GroupStatus::kOk, GroupStatus::kFailed, GroupStatus::kTimedOut,
+                          GroupStatus::kQuarantined, GroupStatus::kSkipped}) {
+        if (text == to_string(s))
+            return s;
+    }
+    MYST_THROW(ParseError, "sweep journal: unknown group status '" << text << "'");
+}
+
+SweepJournal::SweepJournal(const std::string& dir)
+    : path_((std::filesystem::path(dir) / "sweep_journal.jsonl").string())
+{
+}
+
+std::size_t
+SweepJournal::load()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+
+    std::string text;
+    try {
+        if (FaultInjection::instance().should_fail("journal.load"))
+            MYST_THROW(ParseError, "injected fault: sweep journal unreadable");
+        if (!std::filesystem::exists(path_))
+            return 0; // no journal yet: a fresh sweep, not an error
+        text = read_file(path_);
+    } catch (const std::exception& e) {
+        MYST_WARN("sweep journal '" << path_ << "' unreadable, starting fresh: "
+                                    << e.what());
+        return 0;
+    }
+
+    std::size_t bad_lines = 0;
+    std::size_t begin = 0;
+    while (begin < text.size()) {
+        std::size_t end = text.find('\n', begin);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string_view line(text.data() + begin, end - begin);
+        begin = end + 1;
+        if (line.empty())
+            continue;
+        try {
+            records_.push_back(record_from_json(Json::parse(line)));
+        } catch (const std::exception&) {
+            // A torn or hand-damaged line invalidates itself, not the file:
+            // everything parseable around it still counts.
+            ++bad_lines;
+        }
+    }
+    if (bad_lines > 0)
+        MYST_WARN("sweep journal '" << path_ << "': skipped " << bad_lines
+                                    << " unparseable line(s)");
+    return records_.size();
+}
+
+bool
+SweepJournal::publish_locked()
+{
+    std::string text;
+    for (const SweepJournalRecord& rec : records_) {
+        text += record_to_json(rec).dump();
+        text += '\n';
+    }
+    try {
+        if (FaultInjection::instance().should_fail("journal.write"))
+            MYST_THROW(MystiqueError, "injected fault: sweep journal publish failed");
+        atomic_write_file(path_, text);
+        return true;
+    } catch (const std::exception& e) {
+        MYST_WARN("sweep journal '" << path_ << "' publish failed (journaling is "
+                                    << "best-effort): " << e.what());
+        return false;
+    }
+}
+
+bool
+SweepJournal::append(const SweepJournalRecord& rec)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(rec);
+    return publish_locked();
+}
+
+std::optional<SweepJournalRecord>
+SweepJournal::completed(uint64_t sweep_fp, uint64_t group_fp) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    // Latest record wins: a failure recorded after a success (a later, sicker
+    // run) means the success is stale evidence, so scan from the back.
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+        if (it->sweep_fp != sweep_fp || it->group_fp != group_fp)
+            continue;
+        if (it->status == GroupStatus::kOk)
+            return *it;
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+int
+SweepJournal::consecutive_failures(uint64_t group_fp) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int streak = 0;
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+        if (it->group_fp != group_fp)
+            continue;
+        if (it->status == GroupStatus::kOk)
+            break; // success resets the streak: quarantine heals
+        ++streak;
+    }
+    return streak;
+}
+
+std::optional<SweepJournalRecord>
+SweepJournal::last_failure(uint64_t group_fp) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+        if (it->group_fp == group_fp && it->status != GroupStatus::kOk)
+            return *it;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+SweepJournal::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+}
+
+} // namespace mystique::core

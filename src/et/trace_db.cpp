@@ -22,16 +22,28 @@ TraceDatabase::load_directory(const std::string& dir)
     namespace fs = std::filesystem;
     std::size_t loaded = 0;
     std::vector<fs::path> files;
-    for (const auto& entry : fs::directory_iterator(dir)) {
-        if (entry.is_regular_file() && entry.path().extension() == ".json")
-            files.push_back(entry.path());
+    // A fleet ingest directory may be absent (not yet synced) or racing a
+    // producer; both are degraded inputs, not programming errors, so they
+    // warn and load nothing rather than abort the whole database build.
+    try {
+        for (const auto& entry : fs::directory_iterator(dir)) {
+            if (entry.is_regular_file() && entry.path().extension() == ".json")
+                files.push_back(entry.path());
+        }
+    } catch (const std::exception& e) {
+        MYST_WARN("trace directory '" << dir << "' unreadable, loading nothing: "
+                                      << e.what());
+        return 0;
     }
     std::sort(files.begin(), files.end());
     for (const auto& path : files) {
         try {
             add(ExecutionTrace::load(path.string()));
             ++loaded;
-        } catch (const MystiqueError& e) {
+        } catch (const std::exception& e) {
+            // std::exception, not just MystiqueError: a trace that fails
+            // mid-parse with bad_alloc/filesystem_error is every bit as
+            // skippable as one that fails schema validation.
             MYST_WARN("skipping unreadable trace " << path.string() << ": " << e.what());
         }
     }

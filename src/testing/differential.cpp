@@ -1,7 +1,16 @@
 #include "testing/differential.h"
 
 #include <exception>
+#include <filesystem>
 #include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define MYST_GETPID _getpid
+#else
+#include <unistd.h>
+#define MYST_GETPID getpid
+#endif
 
 #include "core/plan_cache.h"
 #include "core/replay_driver.h"
@@ -64,6 +73,24 @@ const prof::ProfilerTrace*
 prof_of(const FuzzedCase& c)
 {
     return c.use_prof ? &c.prof : nullptr;
+}
+
+/// "" when every group of @p r finished ok; else the first sick group's
+/// status and error, labelled with @p which sweep it came from.
+std::string
+all_groups_ok(const core::DatabaseReplayResult& r, const char* which)
+{
+    for (std::size_t i = 0; i < r.groups.size(); ++i) {
+        const core::GroupReplayResult& g = r.groups[i];
+        if (g.status == core::GroupStatus::kOk)
+            continue;
+        std::ostringstream why;
+        why << which << " sweep group " << i << " is " << core::to_string(g.status);
+        if (!g.error.empty())
+            why << ": " << g.error;
+        return why.str();
+    }
+    return {};
 }
 
 } // namespace
@@ -185,8 +212,24 @@ DifferentialOracle::check_sweep(const std::vector<FuzzedCase>& cases)
             cache_par.set_store_dir("");
             ReplayDriver seq(cfg, &cache_seq, 1);
             ReplayDriver par(cfg, &cache_par, 4);
+            // Pin journaling off (an ambient MYST_SWEEP_JOURNAL would let a
+            // prior run's journal substitute for replaying).
+            seq.set_journal_dir(std::string());
+            par.set_journal_dir(std::string());
             const auto a = seq.replay_groups(db, db.size(), &profs);
             const auto b = par.replay_groups(db, db.size(), &profs);
+
+            // Valid-by-construction traces must sweep clean: the resilient
+            // driver isolates failures instead of throwing, so a sick group
+            // would otherwise hide inside a "passing" comparison of two
+            // equally-degraded sweeps.  (This also makes an armed sweep.group
+            // fault a deterministic CLI failure — the fuzz-cli tests rely on
+            // that.)
+            std::string sick = all_groups_ok(a, "K=1");
+            if (sick.empty())
+                sick = all_groups_ok(b, "K=4");
+            if (!sick.empty())
+                return sick;
 
             if (a.weighted_mean_iter_us != b.weighted_mean_iter_us)
                 return "weighted mean diverges between K=1 and K=4";
@@ -200,6 +243,86 @@ DifferentialOracle::check_sweep(const std::vector<FuzzedCase>& cases)
                 if (!diff.empty())
                     return "group " + std::to_string(i) + " (K=1 vs K=4): " + diff;
             }
+            return {};
+        } catch (const std::exception& e) {
+            return std::string("threw: ") + e.what();
+        }
+    }());
+
+    // 6. Sweep resilience: with the resilience knobs engaged but nothing
+    // failing, a journaled sweep is bit-identical to the plain one, and a
+    // restarted sweep resumes every group from the journal — restoring the
+    // same bit-exact weighted mean without replaying anything.
+    finish_check(seed, "sweep-resilience", [&]() -> std::string {
+        namespace fs = std::filesystem;
+        const fs::path dir =
+            fs::temp_directory_path() /
+            ("mystique-diff-journal-" + std::to_string(MYST_GETPID()) + "-" +
+             std::to_string(seed));
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+        fs::create_directories(dir);
+        struct DirCleanup {
+            const fs::path& dir;
+            ~DirCleanup()
+            {
+                std::error_code ec2;
+                fs::remove_all(dir, ec2);
+            }
+        } cleanup{dir};
+        try {
+            et::TraceDatabase db;
+            std::vector<const prof::ProfilerTrace*> profs;
+            for (const FuzzedCase& c : cases) {
+                db.add(c.trace);
+                profs.push_back(prof_of(c));
+            }
+            ReplayConfig cfg;
+            cfg.mode = fw::ExecMode::kShapeOnly;
+            cfg.iterations = 2;
+            cfg.warmup_iterations = 1;
+            cfg.opt_level = 1;
+
+            PlanCache cache_plain(64), cache_res(64), cache_resume(64);
+            cache_plain.set_store_dir("");
+            cache_res.set_store_dir("");
+            cache_resume.set_store_dir("");
+
+            ReplayDriver plain(cfg, &cache_plain, 1);
+            plain.set_journal_dir(std::string());
+            const auto want = plain.replay_groups(db, db.size(), &profs);
+
+            ReplayDriver resilient(cfg, &cache_res, 4);
+            resilient.set_journal_dir(dir.string());
+            resilient.set_max_retries(2);
+            resilient.set_backoff_ms(0);
+            const auto got = resilient.replay_groups(db, db.size(), &profs);
+
+            std::string sick = all_groups_ok(got, "resilient");
+            if (!sick.empty())
+                return sick;
+            if (got.retries != 0)
+                return "no-fault resilient sweep consumed retries";
+            if (got.weighted_mean_iter_us != want.weighted_mean_iter_us)
+                return "resilience knobs changed the weighted mean";
+            if (got.groups.size() != want.groups.size())
+                return "resilience knobs changed the group count";
+            for (std::size_t i = 0; i < got.groups.size(); ++i) {
+                std::string diff =
+                    compare_results(want.groups[i].result, got.groups[i].result);
+                if (!diff.empty())
+                    return "group " + std::to_string(i) + " (plain vs resilient): " + diff;
+            }
+
+            ReplayDriver resumed(cfg, &cache_resume, 1);
+            resumed.set_journal_dir(dir.string());
+            const auto again = resumed.replay_groups(db, db.size(), &profs);
+            if (again.journal_resumed != again.groups.size())
+                return "restarted sweep replayed instead of resuming (" +
+                       std::to_string(again.journal_resumed) + "/" +
+                       std::to_string(again.groups.size()) + " from journal)";
+            if (again.weighted_mean_iter_us != want.weighted_mean_iter_us)
+                return "journal-restored weighted mean is not bit-identical";
             return {};
         } catch (const std::exception& e) {
             return std::string("threw: ") + e.what();

@@ -19,7 +19,14 @@
 ///  4. PlanKey stability: the key is a pure function of (trace, prof, cfg),
 ///     unchanged when the trace itself round-trips through JSON.
 ///  5. sweep parallelism (check_sweep): a ReplayDriver database sweep is
-///     bit-identical at parallelism 1 and 4.
+///     bit-identical at parallelism 1 and 4, and every group finishes with
+///     GroupStatus ok — the resilient driver isolates per-group failures
+///     instead of throwing, so the oracle must inspect statuses or a sick
+///     group would hide inside two equally-degraded sweeps.
+///  6. sweep resilience (check_sweep): a journaled sweep with retry knobs
+///     engaged but nothing failing is bit-identical to the plain sweep, and
+///     a restarted sweep resumes every group from the journal with the same
+///     bit-exact weighted mean.
 ///
 /// Failures carry the generating seed, so any report reproduces with
 /// `mystique-fuzz --seed <seed>`.
@@ -53,9 +60,11 @@ class DifferentialOracle {
     /// failure — valid-by-construction traces must never crash the pipeline.
     void check_case(const FuzzedCase& c);
 
-    /// Check 5: sweeps the cases' traces as one database at parallelism 1
-    /// and 4 and compares the merged results bitwise.  Failures are recorded
-    /// under the first case's seed (the sweep is a corpus-level property).
+    /// Checks 5–6: sweeps the cases' traces as one database at parallelism 1
+    /// and 4 and compares the merged results bitwise (requiring all-ok group
+    /// statuses), then proves the resilience layer inert-when-unneeded and
+    /// journal resume bit-exact.  Failures are recorded under the first
+    /// case's seed (the sweep is a corpus-level property).
     void check_sweep(const std::vector<FuzzedCase>& cases);
 
     const DiffCounters& counters() const { return counters_; }

@@ -18,6 +18,13 @@
 ///  - **heals**: after one clean rebuild pass, a fresh sweep of every key is
 ///    served entirely from disk — builds == 0.
 ///
+/// The sweep-resilience sites (`sweep.group`, `journal.write`,
+/// `journal.load`) are exercised by a second harness, run_sweep_churn():
+/// concurrent ReplayDrivers sweeping a fuzzed database while the site fires,
+/// with the analogous contract (no escape, no torn journal, bit-identical
+/// heal).  run_churn_site()/run_churn_all() dispatch each site to the harness
+/// that actually reaches it.
+///
 /// Shared by tests/testing/fault_churn_test.cpp and `mystique-fuzz --churn`.
 
 #include <cstdint>
@@ -48,8 +55,32 @@ struct ChurnReport {
 ChurnReport run_churn(const std::string& site, const std::string& store_dir,
                       uint64_t seed, int threads = 8, int ops_per_thread = 12);
 
-/// run_churn() over every registered fault site; each site gets a private
-/// subdirectory of @p store_root.
+/// Churns @p site through ReplayDriver database sweeps instead of raw cache
+/// traffic — the harness for the sweep-resilience sites (`sweep.group`,
+/// `journal.write`, `journal.load`).  @p drivers concurrent drivers, each
+/// sweeping a fuzzed database at @p parallelism workers (default 2×4 = 8
+/// replay threads) with retries enabled and a shared journal at @p store_dir,
+/// while the armed site fires.  The contract mapped onto ChurnReport:
+///
+///  - **never a crash**: replay_groups absorbs every injected fault
+///    (`exceptions` counts escapes);
+///  - **never a torn file**: no `.tmp.*` turds next to the journal;
+///  - **heals**: after disarming, a fresh no-journal sweep is bit-identical
+///    to a reference sweep taken before arming, and a probe sweep over the
+///    (possibly quarantined) journal ends with every group ok.
+///    `heal_builds` counts the groups still sick after the probe.
+ChurnReport run_sweep_churn(const std::string& site, const std::string& store_dir,
+                            uint64_t seed, int drivers = 2, int parallelism = 4,
+                            int sweeps_per_driver = 3);
+
+/// Dispatches @p site to the harness that exercises it: sweep-resilience
+/// sites (`sweep.*`, `journal.*`) go through run_sweep_churn, everything
+/// else through run_churn.
+ChurnReport run_churn_site(const std::string& site, const std::string& store_dir,
+                           uint64_t seed);
+
+/// run_churn_site() over every registered fault site; each site gets a
+/// private subdirectory of @p store_root.
 std::vector<ChurnReport> run_churn_all(const std::string& store_root, uint64_t seed,
                                        int threads = 8, int ops_per_thread = 12);
 

@@ -3,12 +3,20 @@
 /// same weighted mean, same coverage), repeated sweeps on one driver must be
 /// stable (buffer recycling cannot perturb virtual time), and the arena
 /// stats surfaced per sweep must show the recycling actually happening.
+///
+/// The ReplayDriverResilience suite covers the fault-isolation layer: group
+/// failures recorded instead of thrown, retry with backoff, group and sweep
+/// deadlines, journal resume, quarantine + heal — and, crucially, that none
+/// of it perturbs a healthy sweep by a single bit.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "core/plan_cache.h"
 #include "core/replay_driver.h"
 #include "workloads/harness.h"
@@ -159,6 +167,372 @@ TEST(ReplayDriver, SetParallelismTakesEffect)
     EXPECT_EQ(driver.parallelism(), 3u);
     const DatabaseReplayResult r3 = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
     expect_identical(r1, r3);
+}
+
+/// Disarms every fault site on construction and destruction, so a failing
+/// assertion mid-test can never leak an armed fault into later tests.
+struct FaultGuard {
+    FaultGuard() { FaultInjection::instance().disarm_all(); }
+    ~FaultGuard() { FaultInjection::instance().disarm_all(); }
+};
+
+/// Unique per-test scratch directory for journal files.
+struct JournalDir {
+    explicit JournalDir(const char* tag)
+        : path((std::filesystem::path(::testing::TempDir()) /
+                (std::string("myst_sweep_journal_") + tag))
+                   .string())
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+        std::filesystem::create_directories(path);
+    }
+    ~JournalDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+void
+expect_all_ok(const DatabaseReplayResult& r)
+{
+    for (std::size_t i = 0; i < r.groups.size(); ++i)
+        EXPECT_EQ(r.groups[i].status, GroupStatus::kOk)
+            << "group " << i << " is " << to_string(r.groups[i].status) << ": "
+            << r.groups[i].error;
+    EXPECT_EQ(r.groups_ok, r.groups.size());
+    EXPECT_EQ(r.population_covered_ok, r.population_covered);
+}
+
+TEST(ReplayDriverResilience, NoFaultKnobsKeepBitIdentityAtEveryParallelism)
+{
+    // The headline contract: with nothing failing, the resilience layer is
+    // invisible — same bits as a plain sweep, at K=1 and K=4, even with
+    // retries and a (generous) group deadline armed.
+    FaultGuard guard;
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache_plain(16), cache_k1(16), cache_k4(16);
+    ReplayDriver plain(replay_cfg(fw::ExecMode::kShapeOnly), &cache_plain, 1);
+    const DatabaseReplayResult want = plain.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_all_ok(want);
+
+    for (auto* setup : {&cache_k1, &cache_k4}) {
+        const std::size_t k = setup == &cache_k1 ? 1 : 4;
+        ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), setup, k);
+        driver.set_max_retries(2);
+        driver.set_backoff_ms(5);
+        driver.set_group_deadline_ms(uint64_t{60} * 60 * 1000);
+        const DatabaseReplayResult got = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+        expect_identical(want, got);
+        expect_all_ok(got);
+        EXPECT_EQ(got.retries, 0u);
+        EXPECT_EQ(got.backoff_ms, 0u);
+        EXPECT_EQ(got.journal_resumed, 0u);
+        for (const GroupReplayResult& g : got.groups) {
+            EXPECT_EQ(g.attempts, 1u);
+            EXPECT_FALSE(g.from_journal);
+        }
+    }
+}
+
+TEST(ReplayDriverResilience, FailedGroupIsIsolatedAndReported)
+{
+    FaultGuard guard;
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache_ref(16);
+    ReplayDriver ref(replay_cfg(fw::ExecMode::kShapeOnly), &cache_ref, 1);
+    const DatabaseReplayResult want = ref.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    ASSERT_GE(want.groups.size(), 3u);
+
+    // First group attempt fails; the sweep must carry on and the weighted
+    // mean must cover exactly the surviving groups.
+    FaultInjection::instance().arm("sweep.group", 1, FaultMode::kOnce);
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 1);
+    const DatabaseReplayResult got = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    ASSERT_EQ(got.groups.size(), want.groups.size());
+    EXPECT_EQ(got.groups[0].status, GroupStatus::kFailed);
+    EXPECT_NE(got.groups[0].error.find("injected fault"), std::string::npos)
+        << got.groups[0].error;
+    EXPECT_EQ(got.groups[0].attempts, 1u);
+    EXPECT_EQ(got.groups_failed, 1u);
+    EXPECT_EQ(got.groups_ok, want.groups.size() - 1);
+    EXPECT_LT(got.population_covered_ok, got.population_covered);
+
+    // Survivors are bit-identical to the healthy sweep, and the mean is the
+    // weighted mean over exactly those survivors.
+    double weight = 0.0, weighted = 0.0;
+    for (std::size_t i = 1; i < got.groups.size(); ++i) {
+        EXPECT_EQ(got.groups[i].status, GroupStatus::kOk);
+        EXPECT_EQ(got.groups[i].result.iter_us, want.groups[i].result.iter_us);
+        weight += got.groups[i].group.population_weight;
+        weighted += got.groups[i].group.population_weight *
+                    got.groups[i].result.mean_iter_us;
+    }
+    EXPECT_EQ(got.weighted_mean_iter_us, weighted / weight);
+}
+
+TEST(ReplayDriverResilience, ConcurrentFailuresAreAllReported)
+{
+    // Regression for the old fail-fast merge, which kept only the
+    // lowest-indexed worker's error: with every group failing across 4
+    // workers, every group must carry its own error — and nothing throws.
+    FaultGuard guard;
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+    FaultInjection::instance().arm("sweep.group", 1, FaultMode::kEvery);
+
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 4);
+    const DatabaseReplayResult got = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    EXPECT_EQ(got.groups_failed, got.groups.size());
+    EXPECT_EQ(got.population_covered_ok, 0.0);
+    EXPECT_EQ(got.weighted_mean_iter_us, 0.0);
+    for (const GroupReplayResult& g : got.groups) {
+        EXPECT_EQ(g.status, GroupStatus::kFailed);
+        EXPECT_NE(g.error.find("injected fault"), std::string::npos) << g.error;
+    }
+}
+
+TEST(ReplayDriverResilience, RetryWithBackoffHeals)
+{
+    FaultGuard guard;
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache_ref(16);
+    ReplayDriver ref(replay_cfg(fw::ExecMode::kShapeOnly), &cache_ref, 1);
+    const DatabaseReplayResult want = ref.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    // One transient fault on the first group; a single retry must absorb it
+    // and the final result must be indistinguishable from a healthy sweep.
+    FaultInjection::instance().arm("sweep.group", 1, FaultMode::kOnce);
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 1);
+    driver.set_max_retries(1);
+    driver.set_backoff_ms(1);
+    const DatabaseReplayResult got = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    expect_identical(want, got);
+    expect_all_ok(got);
+    EXPECT_EQ(got.groups[0].attempts, 2u);
+    EXPECT_EQ(got.retries, 1u);
+    EXPECT_EQ(got.backoff_ms, 1u); // base_backoff << 0 for the first retry
+    for (std::size_t i = 1; i < got.groups.size(); ++i)
+        EXPECT_EQ(got.groups[i].attempts, 1u);
+}
+
+TEST(ReplayDriverResilience, GroupDeadlineTimesOutWithoutRetry)
+{
+    FaultGuard guard;
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 2);
+    driver.set_group_deadline_ms(0); // already expired: deterministic timeout
+    driver.set_max_retries(3);       // must NOT be consumed by timeouts
+    driver.set_backoff_ms(1);
+    const DatabaseReplayResult got = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    EXPECT_EQ(got.groups_timed_out, got.groups.size());
+    EXPECT_EQ(got.retries, 0u);
+    EXPECT_EQ(got.backoff_ms, 0u);
+    EXPECT_EQ(got.weighted_mean_iter_us, 0.0);
+    for (const GroupReplayResult& g : got.groups) {
+        EXPECT_EQ(g.status, GroupStatus::kTimedOut);
+        EXPECT_EQ(g.attempts, 1u);
+        EXPECT_NE(g.error.find("deadline"), std::string::npos) << g.error;
+    }
+
+    // The sessions were abandoned mid-iteration by the cancellation; the
+    // next sweep must reset them and produce a pristine result.
+    driver.set_group_deadline_ms(std::nullopt);
+    PlanCache cache_ref(16);
+    ReplayDriver ref(replay_cfg(fw::ExecMode::kShapeOnly), &cache_ref, 2);
+    const DatabaseReplayResult want = ref.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    const DatabaseReplayResult again = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_identical(want, again);
+    expect_all_ok(again);
+}
+
+TEST(ReplayDriverResilience, SweepDeadlineSkipsUnstartedGroups)
+{
+    FaultGuard guard;
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache(16);
+    ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 1);
+    driver.set_sweep_deadline_ms(0); // expired before any group starts
+    const DatabaseReplayResult got = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    EXPECT_EQ(got.groups_skipped, got.groups.size());
+    EXPECT_EQ(got.population_covered_ok, 0.0);
+    for (const GroupReplayResult& g : got.groups) {
+        EXPECT_EQ(g.status, GroupStatus::kSkipped);
+        EXPECT_EQ(g.attempts, 0u);
+        EXPECT_TRUE(g.error.empty());
+    }
+    // Skipped groups still report their selection metadata.
+    EXPECT_GT(got.population_covered, 0.0);
+}
+
+TEST(ReplayDriverResilience, JournalResumeSkipsCompletedGroups)
+{
+    FaultGuard guard;
+    JournalDir dir("resume");
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache_a(16);
+    ReplayDriver a(replay_cfg(fw::ExecMode::kShapeOnly), &cache_a, 2);
+    a.set_journal_dir(dir.path);
+    const DatabaseReplayResult first = a.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_all_ok(first);
+    EXPECT_EQ(first.journal_resumed, 0u);
+    EXPECT_TRUE(std::filesystem::exists(dir.path + "/sweep_journal.jsonl"));
+
+    // A fresh driver + fresh cache (a "restarted process") must restore
+    // every group from the journal — zero replays, bit-identical bits.
+    PlanCache cache_b(16);
+    ReplayDriver b(replay_cfg(fw::ExecMode::kShapeOnly), &cache_b, 1);
+    b.set_journal_dir(dir.path);
+    const DatabaseReplayResult second = b.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_identical(first, second);
+    expect_all_ok(second);
+    EXPECT_EQ(second.journal_resumed, second.groups.size());
+    EXPECT_EQ(second.cache.misses, 0u);
+    for (const GroupReplayResult& g : second.groups) {
+        EXPECT_TRUE(g.from_journal);
+        EXPECT_EQ(g.attempts, 0u);
+    }
+}
+
+TEST(ReplayDriverResilience, CrashedSweepResumesAndReplaysOnlyTheFailedGroup)
+{
+    FaultGuard guard;
+    JournalDir dir("crash");
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache_ref(16);
+    ReplayDriver ref(replay_cfg(fw::ExecMode::kShapeOnly), &cache_ref, 1);
+    const DatabaseReplayResult want = ref.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    // "Crash": the first sweep loses one group to a fault and journals the
+    // failure alongside the successes.
+    FaultInjection::instance().arm("sweep.group", 1, FaultMode::kOnce);
+    PlanCache cache_a(16);
+    ReplayDriver a(replay_cfg(fw::ExecMode::kShapeOnly), &cache_a, 1);
+    a.set_journal_dir(dir.path);
+    const DatabaseReplayResult first = a.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    EXPECT_EQ(first.groups_failed, 1u);
+    FaultInjection::instance().disarm_all();
+
+    // Restart: the healthy groups resume from the journal; only the failed
+    // one replays (one cache miss), and the journal heals to all-ok.
+    PlanCache cache_b(16);
+    ReplayDriver b(replay_cfg(fw::ExecMode::kShapeOnly), &cache_b, 1);
+    b.set_journal_dir(dir.path);
+    const DatabaseReplayResult second = b.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_identical(want, second);
+    expect_all_ok(second);
+    EXPECT_EQ(second.journal_resumed, second.groups.size() - 1);
+    EXPECT_EQ(second.cache.misses, 1u);
+    EXPECT_FALSE(second.groups[0].from_journal);
+    EXPECT_EQ(second.groups[0].attempts, 1u);
+}
+
+TEST(ReplayDriverResilience, QuarantineAfterRepeatedFailuresAndProbeHeals)
+{
+    FaultGuard guard;
+    JournalDir dir("quarantine");
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    PlanCache cache_ref(16);
+    ReplayDriver ref(replay_cfg(fw::ExecMode::kShapeOnly), &cache_ref, 1);
+    const DatabaseReplayResult want = ref.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+
+    // Two sweeps with every attempt failing: every group accumulates two
+    // consecutive journaled failures — the quarantine threshold.
+    FaultInjection::instance().arm("sweep.group", 1, FaultMode::kEvery);
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        PlanCache cache(16);
+        ReplayDriver driver(replay_cfg(fw::ExecMode::kShapeOnly), &cache, 2);
+        driver.set_journal_dir(dir.path);
+        const DatabaseReplayResult r = driver.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+        EXPECT_EQ(r.groups_failed, r.groups.size());
+    }
+    FaultInjection::instance().disarm_all();
+
+    // Known-bad fingerprints are now skipped without burning a replay, and
+    // carry the recorded error text.
+    PlanCache cache_q(16);
+    ReplayDriver quarantined(replay_cfg(fw::ExecMode::kShapeOnly), &cache_q, 1);
+    quarantined.set_journal_dir(dir.path);
+    const DatabaseReplayResult q = quarantined.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    EXPECT_EQ(q.groups_quarantined, q.groups.size());
+    EXPECT_EQ(q.cache.misses, 0u);
+    for (const GroupReplayResult& g : q.groups) {
+        EXPECT_EQ(g.status, GroupStatus::kQuarantined);
+        EXPECT_EQ(g.attempts, 0u);
+        EXPECT_NE(g.error.find("injected fault"), std::string::npos) << g.error;
+    }
+
+    // Probe mode gives each quarantined group one healing attempt; with the
+    // fault gone they all succeed, bit-identical to the healthy sweep, and
+    // the recorded successes lift the quarantine for the next plain sweep.
+    PlanCache cache_p(16);
+    ReplayDriver probe(replay_cfg(fw::ExecMode::kShapeOnly), &cache_p, 1);
+    probe.set_journal_dir(dir.path);
+    probe.set_probe_quarantined(true);
+    const DatabaseReplayResult healed = probe.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_identical(want, healed);
+    expect_all_ok(healed);
+
+    PlanCache cache_after(16);
+    ReplayDriver after(replay_cfg(fw::ExecMode::kShapeOnly), &cache_after, 1);
+    after.set_journal_dir(dir.path);
+    const DatabaseReplayResult resumed = after.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_all_ok(resumed);
+    EXPECT_EQ(resumed.journal_resumed, resumed.groups.size());
+}
+
+TEST(ReplayDriverResilience, JournalFaultsAreAbsorbed)
+{
+    // journal.write: every publish fails — the sweep still succeeds, counts
+    // the write failures, and a later sweep simply cannot resume (no record
+    // survived), which is degraded, never wrong.
+    FaultGuard guard;
+    JournalDir dir("journalfault");
+    SweepFixture fx(fw::ExecMode::kShapeOnly, /*include_paper_preset=*/false);
+
+    FaultInjection::instance().arm("journal.write", 1, FaultMode::kEvery);
+    PlanCache cache_a(16);
+    ReplayDriver a(replay_cfg(fw::ExecMode::kShapeOnly), &cache_a, 1);
+    a.set_journal_dir(dir.path);
+    const DatabaseReplayResult first = a.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_all_ok(first);
+    EXPECT_EQ(first.journal_write_failures, first.groups.size());
+    FaultInjection::instance().disarm_all();
+
+    // journal.load: an unreadable journal warns and starts fresh — the sweep
+    // replays everything instead of resuming.
+    PlanCache cache_b(16);
+    ReplayDriver b(replay_cfg(fw::ExecMode::kShapeOnly), &cache_b, 1);
+    b.set_journal_dir(dir.path);
+    const DatabaseReplayResult warm = b.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_all_ok(warm); // journal was never published, so nothing resumes
+    EXPECT_EQ(warm.journal_resumed, 0u);
+
+    FaultInjection::instance().arm("journal.load", 1, FaultMode::kEvery);
+    PlanCache cache_c(16);
+    ReplayDriver c(replay_cfg(fw::ExecMode::kShapeOnly), &cache_c, 1);
+    c.set_journal_dir(dir.path);
+    const DatabaseReplayResult blind = c.replay_groups(fx.db, SIZE_MAX, &fx.profs);
+    expect_all_ok(blind);
+    EXPECT_EQ(blind.journal_resumed, 0u);
 }
 
 } // namespace

@@ -1,0 +1,218 @@
+/// SweepJournal unit tests: bit-exact record round-trips, torn-line
+/// tolerance, latest-record-wins resume lookups, the quarantine streak and
+/// its healing, and best-effort appends under injected journal faults.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/fault_injection.h"
+#include "core/sweep_journal.h"
+
+namespace mystique::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    TempDir()
+    {
+        static int counter = 0;
+        path = (fs::temp_directory_path() /
+                ("myst_journal_test_" + std::to_string(counter++)))
+                   .string();
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string path;
+};
+
+uint64_t
+bits(double v)
+{
+    uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+SweepJournalRecord
+ok_record(uint64_t sweep, uint64_t group, double mean)
+{
+    SweepJournalRecord rec;
+    rec.sweep_fp = sweep;
+    rec.group_fp = group;
+    rec.status = GroupStatus::kOk;
+    rec.attempts = 1;
+    rec.population_weight = 0.25;
+    rec.iter_us = {mean - 0.5, mean + 0.5};
+    rec.mean_iter_us = mean;
+    return rec;
+}
+
+SweepJournalRecord
+failed_record(uint64_t sweep, uint64_t group, const std::string& error)
+{
+    SweepJournalRecord rec;
+    rec.sweep_fp = sweep;
+    rec.group_fp = group;
+    rec.status = GroupStatus::kFailed;
+    rec.attempts = 2;
+    rec.error = error;
+    rec.population_weight = 0.25;
+    return rec;
+}
+
+TEST(SweepJournal, StatusStringsRoundTrip)
+{
+    for (GroupStatus s : {GroupStatus::kOk, GroupStatus::kFailed, GroupStatus::kTimedOut,
+                          GroupStatus::kQuarantined, GroupStatus::kSkipped})
+        EXPECT_EQ(group_status_from_string(to_string(s)), s);
+    EXPECT_THROW(group_status_from_string("sideways"), ParseError);
+}
+
+TEST(SweepJournal, RecordsRoundTripBitExactly)
+{
+    TempDir dir;
+    // Awkward doubles on purpose: a denormal, a value with no short decimal
+    // form, and a negative zero — the bit-pattern encoding must keep each.
+    SweepJournalRecord rec = ok_record(0xDEADBEEF12345678ull, 42, 0.1 + 0.2);
+    rec.iter_us = {5e-324, 0.1 + 0.2, -0.0};
+    {
+        SweepJournal j(dir.path);
+        EXPECT_TRUE(j.append(rec));
+        EXPECT_TRUE(j.append(failed_record(1, 43, "it broke")));
+    }
+
+    SweepJournal j2(dir.path);
+    EXPECT_EQ(j2.load(), 2u);
+    const auto got = j2.completed(rec.sweep_fp, rec.group_fp);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->attempts, 1u);
+    EXPECT_EQ(bits(got->population_weight), bits(rec.population_weight));
+    EXPECT_EQ(bits(got->mean_iter_us), bits(rec.mean_iter_us));
+    ASSERT_EQ(got->iter_us.size(), rec.iter_us.size());
+    for (std::size_t i = 0; i < rec.iter_us.size(); ++i)
+        EXPECT_EQ(bits(got->iter_us[i]), bits(rec.iter_us[i]));
+
+    const auto fail = j2.last_failure(43);
+    ASSERT_TRUE(fail.has_value());
+    EXPECT_EQ(fail->error, "it broke");
+}
+
+TEST(SweepJournal, TornLinesAreSkippedNotFatal)
+{
+    TempDir dir;
+    {
+        SweepJournal j(dir.path);
+        EXPECT_TRUE(j.append(ok_record(1, 10, 100.0)));
+        EXPECT_TRUE(j.append(ok_record(1, 11, 200.0)));
+    }
+    {
+        // Simulate a crash mid-append by hand-tearing the file.
+        std::ofstream f(dir.path + "/sweep_journal.jsonl", std::ios::app);
+        f << "{\"v\":1,\"sweep\":\"1\",\"gro";
+    }
+    SweepJournal j(dir.path);
+    EXPECT_EQ(j.load(), 2u); // the torn line invalidates itself, not the file
+    EXPECT_TRUE(j.completed(1, 10).has_value());
+    EXPECT_TRUE(j.completed(1, 11).has_value());
+}
+
+TEST(SweepJournal, LatestRecordWinsAndFailureInvalidatesStaleSuccess)
+{
+    TempDir dir;
+    SweepJournal j(dir.path);
+    EXPECT_TRUE(j.append(ok_record(1, 10, 100.0)));
+    EXPECT_TRUE(j.completed(1, 10).has_value());
+
+    // A failure recorded after the success is newer evidence: resume must
+    // not serve the stale success.
+    EXPECT_TRUE(j.append(failed_record(1, 10, "regressed")));
+    EXPECT_FALSE(j.completed(1, 10).has_value());
+
+    // Success recorded later wins again — and with an updated mean.
+    EXPECT_TRUE(j.append(ok_record(1, 10, 150.0)));
+    const auto got = j.completed(1, 10);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->mean_iter_us, 150.0);
+
+    // Lookups are scoped to the sweep fingerprint.
+    EXPECT_FALSE(j.completed(2, 10).has_value());
+}
+
+TEST(SweepJournal, QuarantineEngagesOnConsecutiveFailuresAndHeals)
+{
+    TempDir dir;
+    SweepJournal j(dir.path);
+    EXPECT_FALSE(j.quarantined(10));
+
+    EXPECT_TRUE(j.append(failed_record(1, 10, "first")));
+    EXPECT_EQ(j.consecutive_failures(10), 1);
+    EXPECT_FALSE(j.quarantined(10));
+
+    EXPECT_TRUE(j.append(failed_record(2, 10, "second")));
+    EXPECT_EQ(j.consecutive_failures(10), 2);
+    EXPECT_TRUE(j.quarantined(10));
+    const auto fail = j.last_failure(10);
+    ASSERT_TRUE(fail.has_value());
+    EXPECT_EQ(fail->error, "second");
+
+    // Other fingerprints are unaffected; interleaved records don't bleed.
+    EXPECT_TRUE(j.append(failed_record(1, 11, "other")));
+    EXPECT_EQ(j.consecutive_failures(11), 1);
+    EXPECT_TRUE(j.quarantined(10));
+
+    // A recorded success heals: the streak resets to zero.
+    EXPECT_TRUE(j.append(ok_record(3, 10, 100.0)));
+    EXPECT_EQ(j.consecutive_failures(10), 0);
+    EXPECT_FALSE(j.quarantined(10));
+}
+
+TEST(SweepJournal, WriteFaultIsAbsorbedAndAccountingSurvivesInMemory)
+{
+    TempDir dir;
+    FaultInjection& fi = FaultInjection::instance();
+    fi.disarm_all();
+    fi.arm("journal.write", 1, FaultMode::kEvery);
+
+    SweepJournal j(dir.path);
+    EXPECT_FALSE(j.append(failed_record(1, 10, "x"))); // publish fails...
+    EXPECT_FALSE(j.append(failed_record(2, 10, "y")));
+    EXPECT_EQ(j.consecutive_failures(10), 2); // ...but accounting still sees it
+    EXPECT_TRUE(j.quarantined(10));
+    fi.disarm_all();
+
+    // Nothing was ever published, so a fresh journal starts empty.
+    SweepJournal j2(dir.path);
+    EXPECT_EQ(j2.load(), 0u);
+    EXPECT_FALSE(j2.quarantined(10));
+}
+
+TEST(SweepJournal, LoadFaultWarnsAndStartsFresh)
+{
+    TempDir dir;
+    {
+        SweepJournal j(dir.path);
+        EXPECT_TRUE(j.append(ok_record(1, 10, 100.0)));
+    }
+    FaultInjection& fi = FaultInjection::instance();
+    fi.disarm_all();
+    fi.arm("journal.load", 1, FaultMode::kOnce);
+    SweepJournal j(dir.path);
+    EXPECT_EQ(j.load(), 0u); // unreadable journal = fresh, not fatal
+    fi.disarm_all();
+    EXPECT_EQ(j.load(), 1u); // the file itself was never damaged
+}
+
+} // namespace
+} // namespace mystique::core

@@ -251,6 +251,28 @@ TEST(TraceDb, LoadDirectorySkipsGarbage)
     EXPECT_EQ(db.load_directory(dir), 1u);
 }
 
+TEST(TraceDb, LoadDirectoryAbsorbsUnreadableDirectories)
+{
+    // A missing ingest directory (not yet synced) degrades to an empty load
+    // with a warning — it must not abort the whole database build.  Same for
+    // a path that exists but is not a directory at all.
+    TraceDatabase db;
+    EXPECT_EQ(db.load_directory(testing::TempDir() + "/no_such_etdb_dir"), 0u);
+
+    const std::string file_not_dir = testing::TempDir() + "/etdb_plain_file";
+    {
+        std::ofstream f(file_not_dir);
+        f << "not a directory";
+    }
+    EXPECT_EQ(db.load_directory(file_not_dir), 0u);
+
+    // The database stays usable after degraded loads.
+    ExecutionTrace t;
+    t.add_node(op_node(0, "a"));
+    db.add(std::move(t));
+    EXPECT_EQ(db.size(), 1u);
+}
+
 TEST(Builder, RenumbersDensely)
 {
     ExecutionTrace t;

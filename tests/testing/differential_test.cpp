@@ -42,8 +42,9 @@ TEST(DifferentialOracle, FixedSeedCorpusPassesAllChecks)
     EXPECT_TRUE(oracle.ok()) << describe_failures(oracle);
     EXPECT_EQ(oracle.counters().traces, kCases);
     EXPECT_EQ(oracle.counters().mismatches, oracle.failures().size());
-    // Four per-case checks plus the corpus-level sweep check.
-    EXPECT_EQ(oracle.counters().checks, kCases * 4 + 1);
+    // Four per-case checks plus the two corpus-level sweep checks
+    // (parallelism invariance and journal resume / resilience).
+    EXPECT_EQ(oracle.counters().checks, kCases * 4 + 2);
 }
 
 TEST(DifferentialOracle, SweepCheckHandlesEmptyAndSingletonCorpora)

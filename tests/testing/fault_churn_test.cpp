@@ -79,6 +79,25 @@ TEST(FaultChurn, FaultsActuallyFireDuringChurn)
     EXPECT_TRUE(r.ok()) << describe(r);
 }
 
+TEST(FaultChurn, SweepSitesSurviveConcurrentDriverChurn)
+{
+    // The sweep-resilience sites churn through real ReplayDriver sweeps —
+    // two concurrent drivers at parallelism 4 sharing one journal — and must
+    // uphold the same contract: faults actually fire, nothing escapes, the
+    // journal never tears, and a post-churn sweep is bit-identical to the
+    // pre-churn reference.
+    TempRoot root;
+    for (const std::string site : {"sweep.group", "journal.write", "journal.load"}) {
+        const ChurnReport r = run_sweep_churn(site, root.path + "/" + site, /*seed=*/7);
+        EXPECT_GT(r.faults_fired, 0u) << describe(r);
+        EXPECT_TRUE(r.ok()) << describe(r);
+        EXPECT_EQ(r.exceptions, 0u) << describe(r);
+        EXPECT_EQ(r.tmp_files, 0u) << describe(r);
+        EXPECT_EQ(r.heal_builds, 0u) << describe(r);
+        EXPECT_GT(r.operations, 0u) << describe(r);
+    }
+}
+
 TEST(FaultChurn, ReportIsReproducibleForAFixedSeed)
 {
     // Same (site, seed) ⇒ same trace working set.  Thread interleaving makes

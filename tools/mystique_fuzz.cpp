@@ -3,166 +3,26 @@
 ///   mystique-fuzz [--seed N] [--iters N]     # fuzz N cases, all checks
 ///   mystique-fuzz --case S                   # re-run one case seed (repro)
 ///   mystique-fuzz --churn [--churn-dir DIR]  # fault churn, every site
+///   mystique-fuzz --churn-site SITE          # fault churn, one site
 ///
 /// Default --iters comes from MYST_FUZZ_ITERS (else 25); CI runs the fixed
 /// `--seed 7` smoke corpus and one churn pass (see scripts/ci.sh).  Every
 /// failure line carries the *case seed*; `--case <seed>` reproduces that
 /// exact trace, config and checks, regardless of the corpus it came from.
 ///
-/// Exit status: 0 = all checks passed; 1 = mismatches or churn violations.
+/// Exit status: 0 = all checks passed; 1 = mismatches or churn violations;
+/// 2 = usage error.
+///
+/// All behavior lives in testing::run_fuzz_cli (src/testing/fuzz_cli.h) so
+/// the unit suite exercises it in-process; this file only binds the real
+/// process streams.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
-#include <string>
-#include <vector>
 
-#ifdef _WIN32
-#include <process.h>
-#define MYST_GETPID _getpid
-#else
-#include <unistd.h>
-#define MYST_GETPID getpid
-#endif
-
-#include "common/fault_injection.h"
-#include "testing/differential.h"
-#include "testing/fault_churn.h"
-#include "testing/trace_fuzzer.h"
-
-namespace {
-
-uint64_t
-parse_u64(const char* flag, const char* text)
-{
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0') {
-        std::fprintf(stderr, "mystique-fuzz: bad value for %s: '%s'\n", flag, text);
-        std::exit(2);
-    }
-    return static_cast<uint64_t>(v);
-}
-
-uint64_t
-default_iters()
-{
-    const char* env = std::getenv("MYST_FUZZ_ITERS");
-    if (env != nullptr && *env != '\0')
-        return parse_u64("MYST_FUZZ_ITERS", env);
-    return 25;
-}
-
-} // namespace
+#include "testing/fuzz_cli.h"
 
 int
 main(int argc, char** argv)
 {
-    using namespace mystique;
-
-    uint64_t base_seed = 7;
-    uint64_t iters = default_iters();
-    bool have_case = false;
-    uint64_t one_case = 0;
-    bool churn = false;
-    std::string churn_dir;
-
-    for (int i = 1; i < argc; ++i) {
-        const char* arg = argv[i];
-        auto value = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "mystique-fuzz: %s needs a value\n", arg);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (std::strcmp(arg, "--seed") == 0)
-            base_seed = parse_u64(arg, value());
-        else if (std::strcmp(arg, "--iters") == 0)
-            iters = parse_u64(arg, value());
-        else if (std::strcmp(arg, "--case") == 0) {
-            have_case = true;
-            one_case = parse_u64(arg, value());
-        } else if (std::strcmp(arg, "--churn") == 0)
-            churn = true;
-        else if (std::strcmp(arg, "--churn-dir") == 0)
-            churn_dir = value();
-        else {
-            std::fprintf(stderr,
-                         "usage: %s [--seed N] [--iters N] [--case S] [--churn] "
-                         "[--churn-dir DIR]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
-
-    uint64_t faults_fired = 0;
-    uint64_t faults_survived = 0;
-    uint64_t churn_violations = 0;
-
-    if (churn) {
-        if (churn_dir.empty()) {
-            churn_dir = (std::filesystem::temp_directory_path() /
-                         ("mystique-fuzz-churn-" + std::to_string(MYST_GETPID())))
-                            .string();
-        }
-        std::filesystem::create_directories(churn_dir);
-        for (const testing::ChurnReport& r :
-             testing::run_churn_all(churn_dir, base_seed)) {
-            faults_fired += r.faults_fired;
-            faults_survived += r.faults_fired;
-            if (!r.ok()) {
-                ++churn_violations;
-                faults_survived -= r.faults_fired; // this site's faults broke through
-                std::printf("FAIL churn site=%s seed=%llu: %s\n", r.site.c_str(),
-                            static_cast<unsigned long long>(base_seed),
-                            r.detail.empty() ? "contract violated" : r.detail.c_str());
-            }
-            std::printf("churn site=%-22s ops=%llu fired=%llu leaked=%llu tmp=%llu "
-                        "quarantined=%llu heal_builds=%llu %s\n",
-                        r.site.c_str(), static_cast<unsigned long long>(r.operations),
-                        static_cast<unsigned long long>(r.faults_fired),
-                        static_cast<unsigned long long>(r.exceptions),
-                        static_cast<unsigned long long>(r.tmp_files),
-                        static_cast<unsigned long long>(r.quarantined),
-                        static_cast<unsigned long long>(r.heal_builds),
-                        r.ok() ? "ok" : "VIOLATED");
-        }
-        std::filesystem::remove_all(churn_dir);
-    }
-
-    testing::DifferentialOracle oracle;
-    if (!churn || have_case) {
-        std::vector<testing::FuzzedCase> cases;
-        if (have_case) {
-            cases.push_back(testing::generate_case(one_case));
-        } else {
-            cases.reserve(iters);
-            for (uint64_t i = 0; i < iters; ++i)
-                cases.push_back(testing::generate_case(testing::case_seed(base_seed, i)));
-        }
-        for (const testing::FuzzedCase& c : cases)
-            oracle.check_case(c);
-        oracle.check_sweep(cases);
-
-        for (const testing::DiffFailure& f : oracle.failures())
-            std::printf("FAIL case-seed=%llu check=%s: %s\n    reproduce: %s --case "
-                        "%llu\n",
-                        static_cast<unsigned long long>(f.seed), f.check.c_str(),
-                        f.detail.c_str(), argv[0],
-                        static_cast<unsigned long long>(f.seed));
-    }
-
-    const testing::DiffCounters& n = oracle.counters();
-    const bool ok = oracle.ok() && churn_violations == 0;
-    std::printf("mystique-fuzz: traces=%llu checks=%llu mismatches=%llu "
-                "faults_fired=%llu faults_survived=%llu status=%s\n",
-                static_cast<unsigned long long>(n.traces),
-                static_cast<unsigned long long>(n.checks),
-                static_cast<unsigned long long>(n.mismatches),
-                static_cast<unsigned long long>(faults_fired),
-                static_cast<unsigned long long>(faults_survived),
-                ok ? "ok" : "FAILED");
-    return ok ? 0 : 1;
+    return mystique::testing::run_fuzz_cli(argc, argv, stdout, stderr);
 }
