@@ -1,0 +1,290 @@
+/// @file
+/// Micro-benchmark and regression gate for the multi-stream async executor
+/// (core/replayer.cpp): on a trace whose kernels span two compute streams,
+/// dependency-tracked replay must make the *virtual* iteration measurably
+/// faster than the serial op-by-op walk while staying identical per stream.
+///
+/// The workload is hand-built to be dispatch-bound: two independent
+/// `aten::mm` chains, interleaved in program order, with a profiler trace
+/// that pins chain A to stream 7 and chain B to stream 9.  The dependency
+/// graph has no cross-chain edges, so the async executor runs one lane per
+/// stream and the per-lane host clocks overlap the dispatch cost the serial
+/// walk pays sequentially.  Gates:
+///
+///   1. structure — the plan's dep graph covers every op and carries (at
+///      least) the two compute streams;
+///   2. stream identity — serial and async replays launch the same kernels
+///      on the same streams in the same per-stream order, and async replay
+///      is bit-identical to itself across runs (timestamps included);
+///   3. speed — async mean virtual iteration time beats serial by >=1.2x
+///      (virtual time is deterministic: no remeasure loops needed);
+///   4. amortization — a two-tier PlanCache sweep under the async config
+///      builds on the cold pass only; a fresh cache over the same store
+///      serves the plan (dependency graph included) from disk with zero
+///      rebuilds and replays it to the same weighted mean.
+///
+/// Prints one JSON summary line (`micro_async_json: {...}`) that
+/// scripts/ci.sh surfaces; exits nonzero on any gate failure.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "core/plan_cache.h"
+#include "core/plan_optimizer.h"
+#include "core/replay_driver.h"
+#include "et/trace_db.h"
+
+namespace {
+
+using namespace mystique;
+
+constexpr int kChainLen = 24;
+constexpr int kStreamA = dev::kComputeStream;
+constexpr int kStreamB = 9;
+
+et::TensorMeta
+f32_meta(int64_t uid, std::vector<int64_t> shape)
+{
+    et::TensorMeta m;
+    m.tensor_id = uid;
+    m.storage_id = uid + 10000;
+    m.numel = fw::shape_numel(shape);
+    m.shape = std::move(shape);
+    return m;
+}
+
+et::Node
+mm_node(int64_t id, et::TensorMeta a, et::TensorMeta b, et::TensorMeta out)
+{
+    et::Node n;
+    n.id = id;
+    n.name = "aten::mm";
+    n.op_schema = "aten::mm(Tensor self, Tensor mat2) -> Tensor";
+    n.inputs.push_back(et::Argument::from_tensor(std::move(a)));
+    n.inputs.push_back(et::Argument::from_tensor(std::move(b)));
+    n.outputs.push_back(et::Argument::from_tensor(std::move(out)));
+    return n;
+}
+
+/// Two independent mm chains interleaved in program order.  Chain c reads
+/// its own previous output (RAW within the chain, nothing across chains);
+/// uids are disjoint between chains so the dep graph keeps them parallel.
+et::ExecutionTrace
+two_chain_trace()
+{
+    const std::vector<int64_t> shape{32, 32};
+    et::ExecutionTrace t;
+    int64_t id = 0;
+    for (int step = 0; step < kChainLen; ++step) {
+        for (int chain = 0; chain < 2; ++chain) {
+            const int64_t base = chain * 1000;
+            const int64_t acc_in = base + step * 2 + 1;  // previous output
+            const int64_t weight = base + step * 2 + 2;  // fresh right operand
+            const int64_t acc_out = base + (step + 1) * 2 + 1;
+            t.add_node(mm_node(id++, f32_meta(acc_in, shape), f32_meta(weight, shape),
+                               f32_meta(acc_out, shape)));
+        }
+    }
+    return t;
+}
+
+/// Profiler trace steering the plan's stream assignment (§4.5): one kernel
+/// per node, correlation = node id, chain A on stream 7, chain B on 9.
+prof::ProfilerTrace
+two_stream_prof(const et::ExecutionTrace& t)
+{
+    prof::ProfilerTrace p;
+    double ts = 0.0;
+    for (const et::Node& n : t.nodes()) {
+        prof::KernelEvent ev;
+        ev.name = "sim_mm";
+        ev.stream = n.id % 2 == 0 ? kStreamA : kStreamB;
+        ev.ts = ts;
+        ev.dur = 1.0;
+        ev.correlation = n.id;
+        ts += 1.0;
+        p.add_kernel(std::move(ev));
+    }
+    return p;
+}
+
+core::ReplayConfig
+async_config(int async_level)
+{
+    core::ReplayConfig cfg = bench::bench_replay_config();
+    cfg.opt_level = 1;           // explicit: immune to the MYST_OPT_LEVEL env
+    cfg.async_level = async_level; // explicit: immune to the MYST_ASYNC env
+    return cfg;
+}
+
+std::map<int, std::vector<std::string>>
+names_by_stream(const prof::ProfilerTrace& p)
+{
+    std::map<int, std::vector<std::string>> by_stream;
+    for (const prof::KernelEvent& ev : p.kernels())
+        by_stream[ev.stream].push_back(ev.name);
+    return by_stream;
+}
+
+bool
+same_kernel_timeline(const prof::ProfilerTrace& a, const prof::ProfilerTrace& b)
+{
+    if (a.kernels().size() != b.kernels().size())
+        return false;
+    for (std::size_t i = 0; i < a.kernels().size(); ++i) {
+        const prof::KernelEvent& x = a.kernels()[i];
+        const prof::KernelEvent& y = b.kernels()[i];
+        if (x.name != y.name || x.stream != y.stream || x.ts != y.ts ||
+            x.dur != y.dur || x.flops != y.flops || x.bytes != y.bytes ||
+            x.kind != y.kind || x.category != y.category)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace fs = std::filesystem;
+    bench::print_header("micro_async: multi-stream async vs serial replay");
+
+    bool ok = true;
+    Json j = Json::object();
+
+    const et::ExecutionTrace trace = two_chain_trace();
+    const prof::ProfilerTrace prof = two_stream_prof(trace);
+
+    const core::ReplayConfig cfg_serial = async_config(0);
+    const core::ReplayConfig cfg_async = async_config(1);
+    const auto plan = core::ReplayPlan::build(trace, &prof, cfg_async);
+
+    // ---- 1. structure ------------------------------------------------------
+    const core::DepGraph& g = plan->dep_graph();
+    std::map<int, int> unit_streams;
+    for (const core::DepUnit& u : g.units)
+        ++unit_streams[u.stream];
+    std::printf("  plan: units=%zu streams=%zu\n", g.units.size(),
+                unit_streams.size());
+    if (g.units.size() != static_cast<std::size_t>(2 * kChainLen)) {
+        std::printf("FAIL: dep graph covers %zu units (want %d)\n", g.units.size(),
+                    2 * kChainLen);
+        ok = false;
+    }
+    if (unit_streams.count(kStreamA) == 0 || unit_streams.count(kStreamB) == 0) {
+        std::printf("FAIL: plan lost the profiler's stream assignment "
+                    "(%zu streams)\n",
+                    unit_streams.size());
+        ok = false;
+    }
+
+    // ---- 2. stream identity ------------------------------------------------
+    const core::ReplayResult rs = core::Replayer(trace, &prof, cfg_serial).run();
+    const core::ReplayResult ra = core::Replayer(trace, &prof, cfg_async).run();
+    if (names_by_stream(rs.prof) != names_by_stream(ra.prof) ||
+        rs.prof.kernels().size() != ra.prof.kernels().size()) {
+        std::printf("FAIL: async replay diverges from serial per stream "
+                    "(%zu vs %zu kernels)\n",
+                    rs.prof.kernels().size(), ra.prof.kernels().size());
+        ok = false;
+    }
+    const core::ReplayResult ra2 = core::Replayer(trace, &prof, cfg_async).run();
+    if (ra.iter_us != ra2.iter_us || !same_kernel_timeline(ra.prof, ra2.prof)) {
+        std::printf("FAIL: async replay is not deterministic across runs\n");
+        ok = false;
+    }
+
+    // ---- 3. speed (virtual, deterministic) ---------------------------------
+    const double speedup =
+        ra.mean_iter_us > 0.0 ? rs.mean_iter_us / ra.mean_iter_us : 1e9;
+    std::printf("  iter: serial %.2f us, async %.2f us (%.2fx virtual)\n",
+                rs.mean_iter_us, ra.mean_iter_us, speedup);
+    if (speedup < 1.2) {
+        std::printf("FAIL: async replay is only %.2fx faster than serial on a "
+                    "two-stream dispatch-bound trace (need >=1.2x)\n",
+                    speedup);
+        ok = false;
+    }
+
+    // ---- 4. amortization: build once, restore the graph from disk ----------
+    const std::string dir =
+        (fs::temp_directory_path() / ("myst_micro_async_" + std::to_string(::getpid())))
+            .string();
+    struct DirGuard {
+        std::string d;
+        ~DirGuard()
+        {
+            std::error_code ec;
+            fs::remove_all(d, ec);
+        }
+    } guard{dir};
+
+    et::TraceDatabase db;
+    db.add(trace);
+    const std::vector<const prof::ProfilerTrace*> profs{&prof};
+
+    core::PlanCache cold_cache(16);
+    cold_cache.set_store_dir(dir);
+    core::ReplayDriver cold_driver(cfg_async, &cold_cache);
+    const core::DatabaseReplayResult cold_sweep = cold_driver.replay_groups(
+        db, std::numeric_limits<std::size_t>::max(), &profs);
+    cold_cache.flush_writebacks();
+    const core::PlanCacheStats cold = cold_cache.stats();
+    if (cold.builds != 1 || cold_sweep.groups_ok != 1) {
+        std::printf("FAIL: cold sweep accounting off (builds=%llu ok=%zu)\n",
+                    static_cast<unsigned long long>(cold.builds),
+                    cold_sweep.groups_ok);
+        ok = false;
+    }
+
+    core::PlanCache warm_cache(16); // fresh cache over the same store ≈ restart
+    warm_cache.set_store_dir(dir);
+    core::ReplayDriver warm_driver(cfg_async, &warm_cache);
+    const core::DatabaseReplayResult warm_sweep = warm_driver.replay_groups(
+        db, std::numeric_limits<std::size_t>::max(), &profs);
+    const core::PlanCacheStats warm = warm_sweep.cache;
+    std::printf("  warm sweep: builds=%llu disk_hits=%llu\n",
+                static_cast<unsigned long long>(warm.builds),
+                static_cast<unsigned long long>(warm.disk_hits));
+    if (warm.builds != 0 || warm.disk_hits != 1) {
+        std::printf("FAIL: warm two-tier sweep performed %llu builds (want 0, "
+                    "served from disk)\n",
+                    static_cast<unsigned long long>(warm.builds));
+        ok = false;
+    }
+    // The restored plan carries the dependency graph: the disk-served async
+    // replay must reproduce the cold sweep's timing bit-for-bit.
+    if (warm_sweep.weighted_mean_iter_us != cold_sweep.weighted_mean_iter_us) {
+        std::printf("FAIL: disk-restored plan replays to a different mean "
+                    "(%.6f vs %.6f us)\n",
+                    warm_sweep.weighted_mean_iter_us,
+                    cold_sweep.weighted_mean_iter_us);
+        ok = false;
+    }
+
+    j.set("units", Json(static_cast<int64_t>(g.units.size())));
+    j.set("streams", Json(static_cast<int64_t>(unit_streams.size())));
+    j.set("serial_iter_us", Json(rs.mean_iter_us));
+    j.set("async_iter_us", Json(ra.mean_iter_us));
+    j.set("speedup", Json(speedup));
+    j.set("cold_builds", Json(static_cast<int64_t>(cold.builds)));
+    j.set("warm_disk_hits", Json(static_cast<int64_t>(warm.disk_hits)));
+    std::printf("micro_async_json: %s\n", j.dump().c_str());
+
+    if (!ok)
+        return 1;
+    std::printf("OK: async replay matches serial per stream, is deterministic, "
+                ">=1.2x faster in virtual time, and restores its dependency "
+                "graph from the two-tier store without rebuilding\n");
+    return 0;
+}

@@ -17,6 +17,7 @@ echo "== bench summaries =="
 ./bench_micro_codegen | grep -E "micro_codegen_json:|^OK:|^FAIL:"
 ./bench_micro_plan_disk | grep -E "micro_plan_disk_json:|^OK:|^FAIL:"
 ./bench_micro_fusion | grep -E "micro_fusion_json:|^OK:|^FAIL:"
+./bench_micro_async | grep -E "micro_async_json:|^OK:|^FAIL:"
 
 # Cross-process plan reuse: two sweeps of the same database in SEPARATE
 # processes sharing one MYST_PLAN_CACHE_DIR.  The first builds and persists
@@ -49,6 +50,14 @@ MYST_ARENA_POISON=1 ctest --output-on-failure -j "$(nproc)"
 # per plan, so its gates still exercise fused replay under this pass.
 echo "== verbatim-plan (MYST_OPT_LEVEL=0) test pass =="
 MYST_OPT_LEVEL=0 ctest --output-on-failure -j "$(nproc)"
+
+# Serial-executor opt-out pass: the whole suite must also hold with the
+# multi-stream async executor disabled (MYST_ASYNC=0) — async execution is
+# a pure perf layer, never a correctness dependency.  micro_async itself
+# sets async_level explicitly per config, so its gates still exercise the
+# async executor under this pass.
+echo "== serial-executor (MYST_ASYNC=0) test pass =="
+MYST_ASYNC=0 ctest --output-on-failure -j "$(nproc)"
 
 # Fuzz smoke corpus: fixed-seed randomized traces through the differential
 # oracle (replay-vs-direct, opt-level invariance, plan round-trip, key

@@ -52,7 +52,9 @@ namespace mystique::core {
 /// v2: replay_plan.json may carry optimizer output ("fused_groups" +
 /// "optimizer"), the replay config serializes "opt_level", and the manifest
 /// pins "opt_level" at top level (verified against the embedded config).
-inline constexpr int kPackageFormatVersion = 2;
+/// v3: replay_plan.json carries the executor dependency graph ("dep_graph")
+/// and the replay config serializes "async_level".
+inline constexpr int kPackageFormatVersion = 3;
 /// Generator identity recorded in the manifest.
 inline constexpr const char* kGeneratorVersion = "mystique-codegen/1.0";
 

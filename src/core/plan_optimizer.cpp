@@ -1,9 +1,12 @@
 #include "core/plan_optimizer.h"
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "framework/kernel_utils.h"
 #include "framework/op_registry.h"
 
@@ -206,6 +209,7 @@ finalize_group(const std::vector<ReconstructedOp>& ops, FusedGroup& group,
         fw::FusedStage st;
         st.kernel = info->kernel;
         st.numel = chain_numel;
+        st.node_id = node.id;
         if (info->norm_head) {
             const et::TensorMeta& im = node.inputs[0].tensors[0];
             st.channels = im.shape[1];
@@ -371,6 +375,189 @@ optimize_plan(std::vector<ReconstructedOp>& ops, std::vector<FusedGroup>& groups
             .count() /
         1e3;
     return stats;
+}
+
+namespace {
+
+/// Tensor-effect key space: recorded tensor ids and storage ids live in
+/// separate namespaces, so tag the id with its kind before mapping.
+struct EffectKey {
+    bool is_storage;
+    int64_t id;
+    bool operator==(const EffectKey&) const = default;
+};
+
+struct EffectKeyHash {
+    std::size_t operator()(const EffectKey& k) const
+    {
+        return std::hash<int64_t>()(k.id) * 2 + (k.is_storage ? 1 : 0);
+    }
+};
+
+void
+collect_meta_keys(const et::TensorMeta& m, std::vector<EffectKey>& out)
+{
+    out.push_back({false, m.tensor_id});
+    if (m.storage_id >= 0)
+        out.push_back({true, m.storage_id});
+}
+
+/// Reads/writes of one unit, as recorded-tensor keys.
+void
+unit_effects(const std::vector<ReconstructedOp>& ops,
+             const std::vector<FusedGroup>& groups, const DepUnit& u,
+             std::vector<EffectKey>& reads, std::vector<EffectKey>& writes)
+{
+    reads.clear();
+    writes.clear();
+    if (u.group >= 0) {
+        const FusedGroup& g = groups[static_cast<std::size_t>(u.group)];
+        collect_meta_keys(g.input_meta, reads);
+        for (const auto& m : g.operand_metas)
+            collect_meta_keys(m, reads);
+        if (!g.dead)
+            collect_meta_keys(g.output_meta, writes);
+        return;
+    }
+    const et::Node& node = *ops[static_cast<std::size_t>(u.head)].node;
+    for (const auto& arg : node.inputs)
+        for (const auto& t : arg.tensors)
+            collect_meta_keys(t, reads);
+    for (const auto& arg : node.outputs)
+        for (const auto& t : arg.tensors)
+            collect_meta_keys(t, writes);
+}
+
+} // namespace
+
+DepGraph
+build_dep_graph(const std::vector<ReconstructedOp>& ops,
+                const std::vector<FusedGroup>& groups)
+{
+    DepGraph graph;
+
+    // Enumerate units in program order (mirrors the serial hot loop: skipped
+    // ops and non-head group members never execute).
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const ReconstructedOp& op = ops[i];
+        DepUnit u;
+        u.head = static_cast<int>(i);
+        if (op.fused_group >= 0) {
+            if (!op.fused_head)
+                continue;
+            u.group = op.fused_group;
+            const FusedGroup& g = groups[static_cast<std::size_t>(op.fused_group)];
+            u.stream = g.stream.value_or(dev::kComputeStream);
+        } else {
+            if (op.kind == ReconstructedOp::Kind::kSkipped || op.node == nullptr)
+                continue;
+            const bool is_comm = op.node->category == dev::OpCategory::kComm;
+            u.comm = is_comm;
+            u.stream = op.stream.value_or(is_comm ? dev::kCommStream
+                                                  : dev::kComputeStream);
+            // Barriers: collectives must keep their recorded per-rank issue
+            // order (rendezvous deadlock otherwise); direct-dispatch custom
+            // ops and tensor-less ops have effects the recorded tensor metas
+            // cannot express.
+            bool touches_tensors = false;
+            for (const auto& arg : op.node->inputs)
+                touches_tensors |= !arg.tensors.empty();
+            for (const auto& arg : op.node->outputs)
+                touches_tensors |= !arg.tensors.empty();
+            u.barrier = is_comm ||
+                        op.node->category == dev::OpCategory::kCustom ||
+                        op.kind == ReconstructedOp::Kind::kDirect ||
+                        !touches_tensors;
+        }
+        graph.units.push_back(std::move(u));
+    }
+
+    // Def-use edges + barrier edges, one forward sweep.
+    std::unordered_map<EffectKey, int, EffectKeyHash> last_writer;
+    std::unordered_map<EffectKey, std::vector<int>, EffectKeyHash> readers_since_write;
+    int last_barrier = -1;
+    std::vector<EffectKey> reads, writes;
+    for (std::size_t ui = 0; ui < graph.units.size(); ++ui) {
+        DepUnit& u = graph.units[ui];
+        const int self = static_cast<int>(ui);
+        std::vector<int>& deps = u.deps;
+
+        if (u.barrier) {
+            // Runs after every earlier unit since (and including) the
+            // previous barrier; everything after it depends on it below.
+            for (int d = last_barrier < 0 ? 0 : last_barrier; d < self; ++d)
+                deps.push_back(d);
+            last_barrier = self;
+        } else {
+            if (last_barrier >= 0)
+                deps.push_back(last_barrier);
+            unit_effects(ops, groups, u, reads, writes);
+            for (const EffectKey& k : reads) { // RAW
+                const auto it = last_writer.find(k);
+                if (it != last_writer.end())
+                    deps.push_back(it->second);
+            }
+            for (const EffectKey& k : writes) {
+                const auto it = last_writer.find(k); // WAW
+                if (it != last_writer.end())
+                    deps.push_back(it->second);
+                const auto rit = readers_since_write.find(k); // WAR
+                if (rit != readers_since_write.end())
+                    deps.insert(deps.end(), rit->second.begin(), rit->second.end());
+            }
+            for (const EffectKey& k : reads)
+                readers_since_write[k].push_back(self);
+            for (const EffectKey& k : writes) {
+                last_writer[k] = self;
+                readers_since_write[k].clear();
+            }
+        }
+
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        deps.erase(std::remove(deps.begin(), deps.end(), self), deps.end());
+    }
+    return graph;
+}
+
+void
+validate_dep_graph(const DepGraph& graph, std::size_t n_ops)
+{
+    for (std::size_t ui = 0; ui < graph.units.size(); ++ui) {
+        const DepUnit& u = graph.units[ui];
+        if (u.head < 0 || static_cast<std::size_t>(u.head) >= n_ops)
+            MYST_THROW(ParseError, "dep-graph unit head " << u.head << " out of range");
+        int prev = -1;
+        for (const int d : u.deps) {
+            if (d < 0)
+                MYST_THROW(ParseError, "dep-graph edge target " << d << " negative");
+            if (d >= static_cast<int>(ui))
+                MYST_THROW(ParseError, "dep-graph edge points forward (cycle): unit "
+                                           << ui << " depends on " << d);
+            if (d <= prev)
+                MYST_THROW(ParseError,
+                           "dep-graph deps not strictly ascending in unit " << ui);
+            prev = d;
+        }
+    }
+}
+
+uint64_t
+dep_graph_fingerprint(const DepGraph& graph)
+{
+    Fnv1a h;
+    h.mix_pod(static_cast<uint64_t>(graph.units.size()));
+    for (const DepUnit& u : graph.units) {
+        h.mix_pod(u.head);
+        h.mix_pod(u.group);
+        h.mix_pod(u.stream);
+        h.mix_pod(u.comm);
+        h.mix_pod(u.barrier);
+        h.mix_pod(static_cast<uint64_t>(u.deps.size()));
+        for (const int d : u.deps)
+            h.mix_pod(d);
+    }
+    return h.value();
 }
 
 void

@@ -67,6 +67,58 @@ struct FusedGroup {
 OptimizerStats optimize_plan(std::vector<ReconstructedOp>& ops,
                              std::vector<FusedGroup>& groups);
 
+/// One schedulable unit of the async executor: a standalone non-skipped op,
+/// or a whole fused group (entered at its head member).  Skipped ops and
+/// non-head group members are not units — the serial walk skips them too.
+struct DepUnit {
+    int head = -1;      ///< op index of the unit's head
+    int group = -1;     ///< fused-group id, or -1 for a standalone op
+    int stream = 0;     ///< stream lane the unit executes on
+    bool comm = false;  ///< collective (kComm category)
+    bool barrier = false; ///< scheduling barrier: runs after everything
+                          ///< before it, before everything after it
+    std::vector<int> deps; ///< earlier unit indices (strictly ascending)
+};
+
+/// The per-plan dependency DAG, in program order: every dep points to an
+/// earlier unit, so program order is always a valid topological order and the
+/// serial walk is one legal schedule of the graph.
+struct DepGraph {
+    std::vector<DepUnit> units;
+
+    bool empty() const { return units.empty(); }
+};
+
+/// Derives the dependency graph for a reconstructed-op sequence:
+///
+///  - def-use edges over recorded tensor AND storage ids (RAW, WAW, and WAR
+///    — a recycled storage must not be overwritten while a reader is
+///    outstanding);
+///  - barrier edges: collectives (their rendezvous order must match the
+///    recorded per-rank order or ranks deadlock), direct-dispatch custom
+///    ops, and ops touching no recorded tensors (unknown side effects) all
+///    serialize against everything around them.
+///
+/// Pure function of (ops, groups), derived once at plan build and carried
+/// through serialization (restore verifies the stored graph against its
+/// fingerprint seal instead of re-deriving it).
+DepGraph build_dep_graph(const std::vector<ReconstructedOp>& ops,
+                         const std::vector<FusedGroup>& groups);
+
+/// Structural validation for restored graphs: unit heads in range, dep lists
+/// strictly ascending with every edge pointing to an *earlier* unit (a
+/// forward or self edge would be a cycle through program order).  Throws
+/// ParseError so corrupt store entries quarantine instead of deadlocking the
+/// executor.
+void validate_dep_graph(const DepGraph& graph, std::size_t n_ops);
+
+/// Stable order-sensitive fingerprint over every unit field and edge.
+/// Serialized plans are sealed with it ("dep_graph_fp") so the restore path
+/// can detect a tampered or truncated graph by hashing the parsed units —
+/// no O(plan) re-derivation on the disk-hit path (the disk tier's whole
+/// point is being much cheaper than a build).
+uint64_t dep_graph_fingerprint(const DepGraph& graph);
+
 /// Input-consumer multiplicity of every tensor id across the plan's
 /// non-skipped ops — the single-consumer legality oracle shared by the
 /// passes.  One full-plan scan; compute it once and share it across every

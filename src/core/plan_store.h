@@ -43,7 +43,9 @@ namespace mystique::core {
 /// load() quarantines entries from other versions (stale-schema rot).
 /// v2: plan documents carry optimizer output ("fused_groups" + "optimizer",
 /// config "opt_level") — v1 entries quarantine-and-rebuild.
-inline constexpr int kPlanStoreFormatVersion = 2;
+/// v3: plan documents carry the executor dependency graph ("dep_graph",
+/// config "async_level") — v2 entries quarantine-and-rebuild.
+inline constexpr int kPlanStoreFormatVersion = 3;
 
 class PlanStore {
   public:

@@ -59,6 +59,15 @@ default_opt_level()
     return std::atoi(env);
 }
 
+int
+default_async_level()
+{
+    const char* env = std::getenv("MYST_ASYNC");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    return std::atoi(env);
+}
+
 uint64_t
 ReplayConfig::fingerprint() const
 {
@@ -80,6 +89,7 @@ ReplayConfig::fingerprint() const
         h.mix(name);
     h.mix_pod(emulate_world_size);
     h.mix_pod(opt_level);
+    h.mix_pod(async_level);
     return h.value();
 }
 
@@ -117,6 +127,7 @@ ReplayConfig::to_json() const
     j.set("custom_ops", std::move(custom_j));
     j.set("emulate_world_size", Json(emulate_world_size));
     j.set("opt_level", Json(opt_level));
+    j.set("async_level", Json(async_level));
     j.set("collect_profiler", Json(collect_profiler));
     return j;
 }
@@ -160,6 +171,8 @@ ReplayConfig::from_json(const Json& j)
     cfg.emulate_world_size = static_cast<int>(j.at("emulate_world_size").as_int());
     // Pre-optimizer documents carry no opt_level: they were verbatim plans.
     cfg.opt_level = static_cast<int>(j.get_int("opt_level", 0));
+    // Pre-executor documents carry no async_level: they replayed serially.
+    cfg.async_level = static_cast<int>(j.get_int("async_level", 0));
     cfg.collect_profiler = j.at("collect_profiler").as_bool();
     return cfg;
 }
@@ -369,6 +382,11 @@ ReplayPlan::build_impl(const et::ExecutionTrace* borrowed,
     // paid at build time and every warm cache hit replays pre-fused.
     if (cfg.opt_level > 0)
         plan->opt_stats_ = optimize_plan(plan->ops_, plan->fused_groups_);
+
+    // Dependency graph, at every opt level: the async executor schedules
+    // from it, and deriving it here (once, amortized by the cache) keeps the
+    // replay hot path free of def-use analysis.
+    plan->dep_graph_ = build_dep_graph(plan->ops_, plan->fused_groups_);
     return plan;
 }
 
@@ -495,6 +513,39 @@ ReplayPlan::to_json() const
         opt.set("ops_simplified", Json(derived.ops_simplified));
         j.set("optimizer", std::move(opt));
     }
+
+    // Dependency graph: cached in the document and sealed with its
+    // fingerprint, so a restore can verify the bytes without re-deriving
+    // the graph from the ops (the disk tier must stay much cheaper than a
+    // build).  Columnar layout — one array per unit field, parallel by unit
+    // index in program order — because the restore path parses this on
+    // every disk hit and per-unit objects cost several times as much to
+    // parse as flat arrays.  flags packs comm (bit 0) and barrier (bit 1);
+    // deps are unit indices.
+    Json dep_j = Json::object();
+    Json heads = Json::array();
+    Json groups_col = Json::array();
+    Json streams_col = Json::array();
+    Json flags_col = Json::array();
+    Json deps_col = Json::array();
+    for (const DepUnit& u : dep_graph_.units) {
+        heads.push_back(Json(static_cast<int64_t>(u.head)));
+        groups_col.push_back(Json(static_cast<int64_t>(u.group)));
+        streams_col.push_back(Json(static_cast<int64_t>(u.stream)));
+        flags_col.push_back(
+            Json(static_cast<int64_t>((u.comm ? 1 : 0) | (u.barrier ? 2 : 0))));
+        Json deps = Json::array();
+        for (const int d : u.deps)
+            deps.push_back(Json(static_cast<int64_t>(d)));
+        deps_col.push_back(std::move(deps));
+    }
+    dep_j.set("head", std::move(heads));
+    dep_j.set("group", std::move(groups_col));
+    dep_j.set("stream", std::move(streams_col));
+    dep_j.set("flags", std::move(flags_col));
+    dep_j.set("deps", std::move(deps_col));
+    j.set("dep_graph", std::move(dep_j));
+    j.set("dep_graph_fp", fp_json(dep_graph_fingerprint(dep_graph_)));
     return j;
 }
 
@@ -663,6 +714,47 @@ ReplayPlan::from_json(const Json& j, std::shared_ptr<const et::ExecutionTrace> t
             plan->fused_groups_.push_back(std::move(g));
         }
         plan->opt_stats_ = derive_optimizer_stats(plan->fused_groups_);
+    }
+
+    // Dependency graph: restored from the document, not re-derived — the
+    // disk-hit path must stay far cheaper than a plan build.  Integrity is
+    // held by two cheap O(graph) passes instead: structural validation (a
+    // forward or self edge is a cycle) and the fingerprint seal emitted by
+    // to_json.  An edited unit, a dropped edge, or a truncated array breaks
+    // the seal; ParseError sends the store entry to quarantine instead of
+    // deadlocking the async executor.  Documents without a graph (hand-
+    // authored manifests) fall back to deriving it from the restored ops.
+    if (const Json* dep_j = j.find("dep_graph")) {
+        const auto& heads = dep_j->at("head").as_array();
+        const auto& groups_col = dep_j->at("group").as_array();
+        const auto& streams_col = dep_j->at("stream").as_array();
+        const auto& flags_col = dep_j->at("flags").as_array();
+        const auto& deps_col = dep_j->at("deps").as_array();
+        if (groups_col.size() != heads.size() || streams_col.size() != heads.size() ||
+            flags_col.size() != heads.size() || deps_col.size() != heads.size())
+            MYST_THROW(ParseError, "plan json: dep_graph columns disagree on length");
+        DepGraph recorded;
+        recorded.units.reserve(heads.size());
+        for (std::size_t ui = 0; ui < heads.size(); ++ui) {
+            DepUnit u;
+            u.head = static_cast<int>(heads[ui].as_int());
+            u.group = static_cast<int>(groups_col[ui].as_int());
+            u.stream = static_cast<int>(streams_col[ui].as_int());
+            const int64_t flags = flags_col[ui].as_int();
+            u.comm = (flags & 1) != 0;
+            u.barrier = (flags & 2) != 0;
+            for (const Json& d : deps_col[ui].as_array())
+                u.deps.push_back(static_cast<int>(d.as_int()));
+            recorded.units.push_back(std::move(u));
+        }
+        validate_dep_graph(recorded, plan->ops_.size());
+        if (j.find("dep_graph_fp") == nullptr ||
+            dep_graph_fingerprint(recorded) != fp_parse(j, "dep_graph_fp"))
+            MYST_THROW(ParseError, "plan json: dep_graph does not match its seal "
+                                   "(tampered or stale document)");
+        plan->dep_graph_ = std::move(recorded);
+    } else {
+        plan->dep_graph_ = build_dep_graph(plan->ops_, plan->fused_groups_);
     }
     return plan;
 }

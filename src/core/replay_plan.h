@@ -46,6 +46,10 @@ namespace mystique::core {
 /// Read per call so tests can flip the environment between builds.
 int default_opt_level();
 
+/// Default async-executor level: MYST_ASYNC when set, else 1 (multi-stream
+/// executor on).  Read per call so tests can flip the environment.
+int default_async_level();
+
 /// Replay configuration.
 struct ReplayConfig {
     std::string platform = "A100";
@@ -74,6 +78,13 @@ struct ReplayConfig {
     /// fusion at build time.  Part of fingerprint(): optimized and verbatim
     /// plans never alias in the memory or disk tier.
     int opt_level = default_opt_level();
+
+    /// Multi-stream async executor (core/replayer): 0 = serial op-by-op
+    /// walk, > 0 = dependency-tracked execution that runs independent
+    /// streams concurrently and overlaps collectives with compute.  Part of
+    /// fingerprint(): async and serial replays model different device
+    /// timelines, so their plans must never alias in either cache tier.
+    int async_level = default_async_level();
 
     /// Collect a profiler trace of the replay run (needed for similarity).
     bool collect_profiler = true;
@@ -184,6 +195,10 @@ class ReplayPlan {
     /// opt_level 0); ReconstructedOp::fused_group indexes into this.
     const std::vector<FusedGroup>& fused_groups() const { return fused_groups_; }
     const OptimizerStats& optimizer_stats() const { return opt_stats_; }
+    /// Per-plan dependency DAG over executable units (built at every opt
+    /// level — the async executor schedules from it; serial replay ignores
+    /// it).  Units appear in program order; see plan_optimizer.h.
+    const DepGraph& dep_graph() const { return dep_graph_; }
     /// The identity the plan was built under.  Plans from build() /
     /// the PlanCache carry the full key; borrowed one-shot plans carry only
     /// the cheap components (config_fp, has_prof) — the expensive trace and
@@ -248,6 +263,7 @@ class ReplayPlan {
     std::vector<ReconstructedOp> ops_;
     std::vector<FusedGroup> fused_groups_;
     OptimizerStats opt_stats_;
+    DepGraph dep_graph_;
 };
 
 } // namespace mystique::core

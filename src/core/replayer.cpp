@@ -12,10 +12,170 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "core/plan_cache.h"
+#include "sim/timeline.h"
 
 namespace mystique::core {
 
 namespace {
+
+/// Weight of the cross-stream contention penalty applied at the end of each
+/// async iteration: the iteration clock advances by
+/// `alpha * MultiStreamTimeline::overlap_excess()` after the device drains.
+/// alpha = 0 would model perfectly free overlap; a small positive value
+/// reflects that concurrent streams share SMs and memory bandwidth, so
+/// overlapped busy time is slightly slower than the sum of its parts.
+constexpr double kStreamContentionAlpha = 0.05;
+
+/// Immutable per-run scheduling state derived from a plan's DepGraph: the
+/// per-stream FIFO lanes (ascending stream id, units in program order) and
+/// the reverse dependency adjacency used to retire edges as units finish.
+struct AsyncSchedule {
+    struct Lane {
+        int stream = 0;
+        std::vector<int> units; ///< unit indices, program order
+    };
+    std::vector<Lane> lanes;
+    std::vector<std::vector<int>> dependents; ///< unit → later dependent units
+    std::vector<int> base_indegree;           ///< unit → number of deps
+};
+
+AsyncSchedule
+build_schedule(const DepGraph& graph)
+{
+    AsyncSchedule sched;
+    const std::size_t n = graph.units.size();
+    sched.dependents.resize(n);
+    sched.base_indegree.resize(n, 0);
+    for (std::size_t u = 0; u < n; ++u) {
+        const DepUnit& unit = graph.units[u];
+        sched.base_indegree[u] = static_cast<int>(unit.deps.size());
+        for (int d : unit.deps)
+            sched.dependents[static_cast<std::size_t>(d)].push_back(static_cast<int>(u));
+        auto it = std::find_if(sched.lanes.begin(), sched.lanes.end(),
+                               [&](const AsyncSchedule::Lane& l) {
+                                   return l.stream >= unit.stream;
+                               });
+        if (it == sched.lanes.end() || it->stream != unit.stream)
+            it = sched.lanes.insert(it, AsyncSchedule::Lane{unit.stream, {}});
+        it->units.push_back(static_cast<int>(u));
+    }
+    return sched;
+}
+
+/// Clears the async-executor session state on every exit path (including a
+/// CancelledError thrown between units), so a caught cancellation can never
+/// leave a dangling clock override or sticky reseed mode on a reused session.
+struct AsyncModeGuard {
+    fw::Session& session;
+    ~AsyncModeGuard()
+    {
+        session.set_clock_override(nullptr);
+        session.set_node_reseed_mode(false);
+        session.set_stream_override(std::nullopt);
+    }
+};
+
+/// Runs one iteration of the dependency-tracked multi-stream executor.
+///
+/// The scheduler is deterministic and cooperative: every stream is a FIFO
+/// lane with its own virtual clock (reset to @p iter_start), and the next
+/// unit executed is always the eligible lane head with the earliest lane
+/// clock (ties broken by ascending stream id).  Eligible means every
+/// dependency edge has retired.  Because per-node reseeding makes each
+/// unit's randomness a pure function of its identity, and each kernel's
+/// start time is a pure function of its lane clock, stream FIFO tail and
+/// input readiness, the resulting timeline and numerics are independent of
+/// the interleaving — async replay is bit-identical per stream to any other
+/// schedule of the same graph.
+///
+/// @return the iteration end time: all lanes joined, device drained, plus
+///         the cross-stream contention penalty.
+sim::TimeUs
+run_async_iteration(fw::Session& session, const ReplayPlan& plan, TensorManager& tm,
+                    const AsyncSchedule& sched, const CancelToken* cancel,
+                    sim::TimeUs iter_start)
+{
+    const std::vector<ReconstructedOp>& ops = plan.ops();
+    const DepGraph& graph = plan.dep_graph();
+    const std::size_t n_units = graph.units.size();
+    const std::size_t first_record = session.device().records().size();
+
+    std::vector<int> indegree = sched.base_indegree;
+    std::vector<std::size_t> next(sched.lanes.size(), 0);
+    std::vector<sim::VirtualClock> clocks(sched.lanes.size());
+    for (auto& clk : clocks)
+        clk.reset(iter_start);
+
+    AsyncModeGuard guard{session};
+    session.set_node_reseed_mode(true);
+
+    std::size_t executed = 0;
+    while (executed < n_units) {
+        // Pick the eligible lane head with the earliest clock.  A stalled
+        // graph (no eligible head while work remains) can only mean a
+        // malformed dependency graph; validate_dep_graph makes that
+        // unreachable for derived graphs, so fail loudly.
+        std::size_t pick = sched.lanes.size();
+        for (std::size_t li = 0; li < sched.lanes.size(); ++li) {
+            if (next[li] >= sched.lanes[li].units.size())
+                continue;
+            const int u = sched.lanes[li].units[next[li]];
+            if (indegree[static_cast<std::size_t>(u)] != 0)
+                continue;
+            if (pick == sched.lanes.size() || clocks[li].now() < clocks[pick].now())
+                pick = li;
+        }
+        MYST_CHECK_MSG(pick < sched.lanes.size(),
+                       "async executor stalled: no eligible stream head");
+
+        // Same cooperative cancel contract as the serial walk: between
+        // units, never inside one.
+        if (cancel != nullptr)
+            cancel->throw_if_expired("replay cancelled between ops");
+
+        const int u = sched.lanes[pick].units[next[pick]];
+        const DepUnit& unit = graph.units[static_cast<std::size_t>(u)];
+        const ReconstructedOp& op = ops[static_cast<std::size_t>(unit.head)];
+        session.set_clock_override(&clocks[pick]);
+        if (unit.group >= 0) {
+            const FusedGroup& group =
+                plan.fused_groups()[static_cast<std::size_t>(unit.group)];
+            session.switch_thread(group.tid); // relabel only, under override
+            session.set_stream_override(group.stream);
+            execute_fused_group(session, group, tm);
+        } else {
+            session.reseed_for_node(op.node->id);
+            session.switch_thread(op.node->tid);
+            session.set_stream_override(op.stream);
+            execute_reconstructed(session, op, tm);
+        }
+        session.set_stream_override(std::nullopt);
+
+        ++next[pick];
+        ++executed;
+        for (int v : sched.dependents[static_cast<std::size_t>(u)])
+            --indegree[static_cast<std::size_t>(v)];
+    }
+
+    // Join: the main clock resumes at the latest lane time, then blocks on
+    // the device drain, then pays the contention penalty for busy time that
+    // ran concurrently across streams this iteration.
+    sim::TimeUs lanes_end = iter_start;
+    for (const auto& clk : clocks)
+        lanes_end = std::max(lanes_end, clk.now());
+    session.set_clock_override(nullptr);
+    session.set_node_reseed_mode(false);
+    session.set_tid(fw::kMainThread);
+    session.cpu_advance_to(lanes_end);
+    session.sync_device();
+
+    sim::MultiStreamTimeline timeline;
+    const std::vector<dev::KernelRecord>& records = session.device().records();
+    for (std::size_t i = first_record; i < records.size(); ++i)
+        timeline.add(records[i].stream_id, records[i].interval);
+    session.cpu_advance(kStreamContentionAlpha * timeline.overlap_excess());
+    return session.cpu_now();
+}
 
 /// Process-wide executor state for run_distributed: one shared ThreadPool
 /// (grown to the largest world size seen, then reused) plus one cached
@@ -194,6 +354,17 @@ Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>
     ReplayResult result;
     result.coverage = plan_->coverage();
 
+    // The dependency-tracked multi-stream executor (MYST_ASYNC, §4.5's
+    // stream semantics taken to their concurrent conclusion) replaces the
+    // program-order walk whenever the config asks for it and the plan
+    // carries a dependency graph.  The schedule skeleton is built once per
+    // replay; per-iteration state (lane clocks, retired-edge counters) is
+    // local to run_async_iteration.
+    const bool async_mode = cfg_.async_level > 0 && !plan_->dep_graph().empty();
+    AsyncSchedule sched;
+    if (async_mode)
+        sched = build_schedule(plan_->dep_graph());
+
     const int total_iters = cfg_.warmup_iterations + cfg_.iterations;
     sim::TimeUs timed_start = 0.0;
     for (int iter = 0; iter < total_iters; ++iter) {
@@ -206,34 +377,39 @@ Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>
         if (iter == cfg_.warmup_iterations)
             timed_start = iter_start;
 
-        for (const auto& op : ops) {
-            // Cooperative deadline/cancel point: between ops, never inside
-            // one — a kernel that started always completes, so cancellation
-            // can never tear the simulated device state.
-            if (cancel != nullptr)
-                cancel->throw_if_expired("replay cancelled between ops");
-            if (op.kind == ReconstructedOp::Kind::kSkipped)
-                continue;
-            if (op.fused_group >= 0) {
-                // Members replay as one loop-fused interpreter call issued
-                // at the head; the rest of the group is already covered.
-                if (!op.fused_head)
+        sim::TimeUs iter_end = iter_start;
+        if (async_mode) {
+            iter_end = run_async_iteration(session, *plan_, tm, sched, cancel, iter_start);
+        } else {
+            for (const auto& op : ops) {
+                // Cooperative deadline/cancel point: between ops, never inside
+                // one — a kernel that started always completes, so cancellation
+                // can never tear the simulated device state.
+                if (cancel != nullptr)
+                    cancel->throw_if_expired("replay cancelled between ops");
+                if (op.kind == ReconstructedOp::Kind::kSkipped)
                     continue;
-                const FusedGroup& group =
-                    plan_->fused_groups()[static_cast<std::size_t>(op.fused_group)];
-                session.switch_thread(group.tid);
-                session.set_stream_override(group.stream);
-                execute_fused_group(session, group, tm);
+                if (op.fused_group >= 0) {
+                    // Members replay as one loop-fused interpreter call issued
+                    // at the head; the rest of the group is already covered.
+                    if (!op.fused_head)
+                        continue;
+                    const FusedGroup& group =
+                        plan_->fused_groups()[static_cast<std::size_t>(op.fused_group)];
+                    session.switch_thread(group.tid);
+                    session.set_stream_override(group.stream);
+                    execute_fused_group(session, group, tm);
+                    session.set_stream_override(std::nullopt);
+                    continue;
+                }
+                session.switch_thread(op.node->tid);
+                session.set_stream_override(op.stream);
+                execute_reconstructed(session, op, tm);
                 session.set_stream_override(std::nullopt);
-                continue;
             }
-            session.switch_thread(op.node->tid);
-            session.set_stream_override(op.stream);
-            execute_reconstructed(session, op, tm);
-            session.set_stream_override(std::nullopt);
+            session.switch_thread(fw::kMainThread);
+            iter_end = session.sync_device();
         }
-        session.switch_thread(fw::kMainThread);
-        const sim::TimeUs iter_end = session.sync_device();
         if (iter >= cfg_.warmup_iterations)
             result.iter_us.push_back(iter_end - iter_start);
         if (profiled)
@@ -246,6 +422,7 @@ Replayer::run_with(fw::Session& session, const std::shared_ptr<comm::CommFabric>
     result.mean_iter_us = stat.mean();
     result.metrics = session.device().metrics(timed_start, session.cpu_now());
     result.prof = profiler.take_trace();
+    result.numeric_digest = tm.digest();
     return result;
 }
 

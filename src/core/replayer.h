@@ -55,6 +55,10 @@ struct ReplayResult {
     dev::DeviceMetrics metrics;
     prof::ProfilerTrace prof;
     CoverageStats coverage;
+    /// Order-independent digest of the final tensor bindings (see
+    /// TensorManager::digest) — the differential oracle's bit-identity
+    /// witness for numeric replays.
+    uint64_t numeric_digest = 0;
 };
 
 /// Per-rank executor over a (possibly shared) ReplayPlan.

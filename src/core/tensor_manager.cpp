@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "framework/math.h"
 #include "framework/op_registry.h"
@@ -182,6 +183,22 @@ void
 TensorManager::bind_output(const et::TensorMeta& meta, fw::Tensor t)
 {
     bindings_[meta.tensor_id] = std::move(t);
+}
+
+uint64_t
+TensorManager::digest() const
+{
+    Fnv1a h;
+    for (const auto& [uid, t] : bindings_) {
+        h.mix_pod(uid);
+        if (!t.defined() || !t.materialized()) {
+            h.mix_pod(static_cast<int64_t>(-1)); // shape-only binding
+            continue;
+        }
+        h.mix_pod(t.numel());
+        h.mix_bytes(t.impl()->storage->data(), static_cast<std::size_t>(t.nbytes()));
+    }
+    return h.value();
 }
 
 } // namespace mystique::core

@@ -74,6 +74,12 @@ class TensorManager {
     std::size_t num_external() const { return externals_.size(); }
     std::size_t num_intermediate() const { return intermediates_.size(); }
 
+    /// Order-independent digest of every live binding's bytes (uid-sorted —
+    /// bindings_ is an ordered map).  The differential oracle compares it
+    /// across replays of the same plan: equal digests mean bit-identical
+    /// numerics regardless of the execution schedule that produced them.
+    uint64_t digest() const;
+
   private:
     fw::Tensor generate_external(const et::TensorMeta& meta);
 

@@ -219,6 +219,10 @@ fused_chain_exec(Session& s, const std::vector<IValue>&)
         const FusedStage& st = call->stages[k];
         if (k > 0)
             s.cpu_advance(per_op_dispatch);
+        // Async executor: each member's jitter draw is a function of its own
+        // node identity, matching what the unfused op would draw there.
+        if (s.node_reseed_mode())
+            s.reseed_for_node(st.node_id);
         ins.clear();
         if (k == 0)
             ins.push_back(call->input);

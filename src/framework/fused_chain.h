@@ -81,6 +81,7 @@ struct FusedStage {
     int64_t spatial = 0;        ///< batch_norm head: H*W of the NCHW input
     float alpha = 1.0f;         ///< add/sub alpha, mul.Scalar scalar, bn eps
     bool identity = false;      ///< algebraically a no-op: skip the arithmetic
+    int64_t node_id = -1;       ///< original ET node (async per-node reseeding)
     dev::KernelDesc desc;       ///< prebuilt launch descriptor (verbatim-equal)
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/hash.h"
 #include "framework/autograd.h"
 
 namespace mystique::fw {
@@ -52,6 +53,8 @@ Session::reset_for_replay()
     next_tensor_uid_ = 0;
     call_stack_.clear();
     stream_override_.reset();
+    clock_override_ = nullptr;
+    node_reseed_mode_ = false;
     current_pg_id_ = -1;
     grad_enabled_ = true;
     process_groups_.clear();
@@ -71,12 +74,16 @@ Session::reset_for_replay()
 sim::VirtualClock&
 Session::clock()
 {
+    if (clock_override_ != nullptr)
+        return *clock_override_;
     return tid_ == kAutogradThread ? autograd_clock_ : main_clock_;
 }
 
 const sim::VirtualClock&
 Session::clock() const
 {
+    if (clock_override_ != nullptr)
+        return *clock_override_;
     return tid_ == kAutogradThread ? autograd_clock_ : main_clock_;
 }
 
@@ -90,6 +97,22 @@ void
 Session::cpu_advance(sim::TimeUs us)
 {
     clock().advance(us);
+}
+
+void
+Session::cpu_advance_to(sim::TimeUs t)
+{
+    clock().advance_to(t);
+}
+
+void
+Session::reseed_for_node(int64_t node_id)
+{
+    Fnv1a h;
+    h.mix_pod(opts_.seed);
+    h.mix_pod(static_cast<int64_t>(opts_.rank));
+    h.mix_pod(node_id);
+    rng_ = Rng(h.value());
 }
 
 sim::TimeUs
@@ -111,10 +134,14 @@ Session::switch_thread(int tid)
 {
     if (tid == tid_)
         return;
-    if (tid == kAutogradThread)
-        autograd_clock_.advance_to(main_clock_.now());
-    else
-        main_clock_.advance_to(autograd_clock_.now());
+    // Under a clock override the per-thread clocks are not in use: the async
+    // executor's lane clock carries the time, and tid is only a trace label.
+    if (clock_override_ == nullptr) {
+        if (tid == kAutogradThread)
+            autograd_clock_.advance_to(main_clock_.now());
+        else
+            main_clock_.advance_to(autograd_clock_.now());
+    }
     set_tid(tid);
 }
 

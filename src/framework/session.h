@@ -152,6 +152,19 @@ class Session {
     /// returns the post-sync time.
     sim::TimeUs sync_device();
 
+    /// Charges CPU time by jumping the active clock forward to @p t (no-op
+    /// when @p t is in the past).
+    void cpu_advance_to(sim::TimeUs t);
+
+    /// Installs @p clk as the active CPU clock (nullptr restores the normal
+    /// per-thread clocks).  The async executor gives every stream lane its
+    /// own virtual clock and installs it around each unit's execution, so
+    /// independent streams accumulate host time independently.  While an
+    /// override is installed, switch_thread() only relabels tid — the
+    /// handoff semantics belong to the serial two-thread walk.
+    void set_clock_override(sim::VirtualClock* clk) { clock_override_ = clk; }
+    sim::VirtualClock* clock_override() const { return clock_override_; }
+
     /// Active thread (kMainThread or kAutogradThread).
     int tid() const { return tid_; }
     void set_tid(int tid);
@@ -207,6 +220,18 @@ class Session {
     Rng& rng() { return rng_; }
     int rank() const { return opts_.rank; }
 
+    /// Reseeds the RNG as a pure function of (session seed, rank, node id).
+    /// The async executor calls this before every unit so jitter draws stop
+    /// depending on global execution order — each op's randomness becomes a
+    /// function of its identity, identical at every parallelism level.
+    void reseed_for_node(int64_t node_id);
+
+    /// When set, fused-chain execution reseeds per member stage the same way
+    /// (fused_chain.cpp checks it); the serial path leaves it off and keeps
+    /// the sequential draw order byte-for-byte.
+    bool node_reseed_mode() const { return node_reseed_mode_; }
+    void set_node_reseed_mode(bool v) { node_reseed_mode_ = v; }
+
     /// The session's caching tensor-storage allocator (see storage_arena.h).
     StorageArena& arena() { return *arena_; }
     const StorageArena& arena() const { return *arena_; }
@@ -258,6 +283,8 @@ class Session {
     int64_t next_tensor_uid_ = 0;
     std::vector<ScopeFrame> call_stack_;
     std::optional<int> stream_override_;
+    sim::VirtualClock* clock_override_ = nullptr;
+    bool node_reseed_mode_ = false;
     /// pg ID the currently-executing comm op should use (set by comm ExecFns
     /// from their arguments; recorded into the ET node).
     int64_t current_pg_id_ = -1;

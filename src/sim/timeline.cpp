@@ -67,6 +67,59 @@ total_exposed_time(const std::vector<Interval>& targets, const std::vector<Inter
     return total;
 }
 
+void
+MultiStreamTimeline::add(int stream, Interval iv)
+{
+    auto it = std::find_if(per_stream_.begin(), per_stream_.end(),
+                           [&](const auto& p) { return p.first == stream; });
+    if (it == per_stream_.end()) {
+        it = per_stream_.insert(
+            std::upper_bound(per_stream_.begin(), per_stream_.end(), stream,
+                             [](int s, const auto& p) { return s < p.first; }),
+            {stream, {}});
+    }
+    it->second.push_back(iv);
+}
+
+TimeUs
+MultiStreamTimeline::span_end() const
+{
+    TimeUs end = 0.0;
+    for (const auto& [stream, ivs] : per_stream_)
+        for (const Interval& iv : ivs)
+            end = std::max(end, iv.end);
+    return end;
+}
+
+TimeUs
+MultiStreamTimeline::serialized_length() const
+{
+    TimeUs total = 0.0;
+    for (const auto& [stream, ivs] : per_stream_)
+        for (const Interval& iv : ivs)
+            total += iv.duration();
+    return total;
+}
+
+TimeUs
+MultiStreamTimeline::overlap_excess() const
+{
+    std::vector<Interval> all;
+    TimeUs per_stream_busy = 0.0;
+    for (const auto& [stream, ivs] : per_stream_) {
+        per_stream_busy += union_length(ivs);
+        all.insert(all.end(), ivs.begin(), ivs.end());
+    }
+    const TimeUs device_busy = union_length(std::move(all));
+    return std::max(0.0, per_stream_busy - device_busy);
+}
+
+TimeUs
+MultiStreamTimeline::contended_finish(TimeUs alpha) const
+{
+    return span_end() + alpha * overlap_excess();
+}
+
 TimeUs
 VirtualClock::advance(TimeUs dur)
 {

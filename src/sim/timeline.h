@@ -45,6 +45,54 @@ TimeUs exposed_time(const Interval& target, const std::vector<Interval>& others)
 TimeUs total_exposed_time(const std::vector<Interval>& targets,
                           const std::vector<Interval>& others);
 
+/// Contended multi-stream busy model for one device over one window (an
+/// iteration, in the replayer's use).
+///
+/// Feed it every kernel interval with its stream id; it then answers three
+/// questions about the window:
+///
+///  - `serialized_length()` — the timeline the old single-stream executor
+///    produced: every kernel back to back, Σ durations.
+///  - `span_end()` — the uncontended concurrent finish: latest interval end,
+///    assuming streams overlap for free.
+///  - `contended_finish(alpha)` — span_end plus a contention penalty
+///    `alpha * overlap_excess()`, where overlap_excess is the total busy
+///    time that actually ran concurrently with another stream
+///    (Σ per-stream busy unions − union across all streams).  alpha = 0 is
+///    the ideal-overlap model; alpha → ∞ degrades toward full serialization.
+///
+/// The model is a pure function of the interval multiset — independent of
+/// insertion order — which is what lets the async executor keep bit-identical
+/// timelines at every parallelism level.
+class MultiStreamTimeline {
+  public:
+    /// Records one busy interval on @p stream.
+    void add(int stream, Interval iv);
+
+    /// Latest interval end (0 when empty): the uncontended finish time.
+    TimeUs span_end() const;
+
+    /// Sum of all durations: the fully serialized timeline length.
+    TimeUs serialized_length() const;
+
+    /// Busy time running concurrently with at least one other stream:
+    /// Σ per-stream union lengths − union length across all streams.
+    TimeUs overlap_excess() const;
+
+    /// span_end() + alpha * overlap_excess().
+    TimeUs contended_finish(TimeUs alpha) const;
+
+    /// Number of distinct streams that received at least one interval.
+    std::size_t stream_count() const { return per_stream_.size(); }
+
+    void reset() { per_stream_.clear(); }
+
+  private:
+    // stream id → its intervals, ordered by id so results never depend on
+    // insertion order.
+    std::vector<std::pair<int, std::vector<Interval>>> per_stream_;
+};
+
 /// Monotonically advancing virtual clock for one actor.
 class VirtualClock {
   public:

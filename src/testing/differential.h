@@ -27,9 +27,16 @@
 ///     engaged but nothing failing is bit-identical to the plain sweep, and
 ///     a restarted sweep resumes every group from the journal with the same
 ///     bit-exact weighted mean.
+///  7. stream identity: the async multi-stream executor (MYST_ASYNC) issues
+///     bit-identical per-stream kernel sequences to the serial walk — same
+///     names, same counts per stream, same coverage — and the MYST_ASYNC=0
+///     and =1 configs never alias to one PlanKey.  Timings/numerics are
+///     out of scope across modes (async reseeds jitter per node); those are
+///     checked bitwise *within* each mode by checks 1–5, which run under
+///     the case's own randomized async_level.
 ///
-/// Failures carry the generating seed, so any report reproduces with
-/// `mystique-fuzz --seed <seed>`.
+/// Failures carry the generating seed and failing check name, so any report
+/// reproduces with `mystique-fuzz --case <seed>`.
 
 #include <cstdint>
 #include <string>

@@ -198,13 +198,16 @@ run_fuzz_cli(int argc, const char* const* argv, std::FILE* out, std::FILE* err)
             oracle.check_case(c);
         oracle.check_sweep(cases);
 
+        // The reproduce hint names the failing check too: a `--case <seed>`
+        // rerun executes every check, so the pasted line must say which one
+        // the report was about without the runner digging up this log again.
         for (const DiffFailure& f : oracle.failures())
             std::fprintf(out,
                          "FAIL case-seed=%llu check=%s: %s\n    reproduce: %s --case "
-                         "%llu\n",
+                         "%llu  (expect check=%s to fail)\n",
                          static_cast<unsigned long long>(f.seed), f.check.c_str(),
                          f.detail.c_str(), prog,
-                         static_cast<unsigned long long>(f.seed));
+                         static_cast<unsigned long long>(f.seed), f.check.c_str());
     }
 
     const DiffCounters& n = oracle.counters();

@@ -58,6 +58,14 @@ struct Spec {
     bool use_prof = true;
     uint64_t session_seed = 0;
     uint64_t replay_seed = 0;
+
+    // Multi-stream replay axes: how many compute streams the recorded
+    // profiler trace is spread over (1 = leave the recording alone), the
+    // salt decorrelating the correlation→stream map, and the executor mode
+    // the case replays under.
+    int n_streams = 1;
+    uint64_t stream_salt = 0;
+    int async_level = 1;
 };
 
 Spec
@@ -123,6 +131,15 @@ derive_spec(uint64_t seed)
     spec.use_prof = rng.uniform() < 0.75;
     spec.session_seed = rng.next_u64();
     spec.replay_seed = rng.next_u64();
+
+    // Multi-stream coverage: half the corpus spreads its compute kernels
+    // over 2–4 streams (the async executor's scheduling surface — the remap
+    // creates cross-stream def-use dependencies, and any collectives stay on
+    // the comm stream interleaved with compute); executor mode alternates so
+    // every differential check runs against both walks across the corpus.
+    spec.n_streams = rng.uniform() < 0.5 ? static_cast<int>(rng.uniform_int(2, 4)) : 1;
+    spec.stream_salt = rng.next_u64();
+    spec.async_level = rng.uniform() < 0.5 ? 1 : 0;
     return spec;
 }
 
@@ -206,6 +223,31 @@ run_iteration(fw::Session& s, const Spec& spec, Model& m)
     }
 }
 
+/// Rewrites compute-kernel stream ids through a randomized correlation→
+/// stream map over a small palette, leaving collectives and memcpys on their
+/// recorded streams.  The remap is what turns a single-stream recording into
+/// a *multi-stream* replay: the plan's op→stream assignment (§4.5) follows
+/// the profiler trace, so replayed kernels spread across streams and def-use
+/// edges start crossing them — exactly the scheduling surface the async
+/// executor has to get right.  Same correlation → same stream keeps all of
+/// one op's kernels together, mirroring real per-op stream placement.
+prof::ProfilerTrace
+spread_compute_streams(const prof::ProfilerTrace& in, int n_streams, uint64_t salt)
+{
+    static constexpr int kPalette[] = {dev::kComputeStream, 9, 11, 13};
+    prof::ProfilerTrace out;
+    for (const prof::CpuOpEvent& ev : in.cpu_ops())
+        out.add_cpu_op(ev);
+    for (prof::KernelEvent ev : in.kernels()) {
+        if (ev.stream == dev::kComputeStream) {
+            const uint64_t slot = mix64(salt ^ static_cast<uint64_t>(ev.correlation));
+            ev.stream = kPalette[slot % static_cast<uint64_t>(n_streams)];
+        }
+        out.add_kernel(std::move(ev));
+    }
+    return out;
+}
+
 } // namespace
 
 uint64_t
@@ -261,6 +303,8 @@ generate_case(uint64_t seed)
     c.seed = seed;
     c.trace = obs.take_trace();
     c.prof = profiler.take_trace();
+    if (spec.n_streams > 1)
+        c.prof = spread_compute_streams(c.prof, spec.n_streams, spec.stream_salt);
     c.use_prof = spec.use_prof;
 
     c.cfg.platform = "A100";
@@ -272,6 +316,10 @@ generate_case(uint64_t seed)
     // make the same seed mean two different cases; the differential oracle
     // overrides this field explicitly for its opt-level check.
     c.cfg.opt_level = 1;
+    // Pinned for the same reason: the executor mode is part of the case's
+    // identity, not ambient MYST_ASYNC state.  The oracle's stream-identity
+    // check overrides this field explicitly for its serial-vs-async pair.
+    c.cfg.async_level = spec.async_level;
     if (spec.filter_subtrace)
         c.cfg.filter.subtrace_root = "## fuzz ##";
     if (spec.only_category >= 0)
@@ -287,7 +335,9 @@ generate_case(uint64_t seed)
                 (spec.use_collective ? " comm" : "") +
                 (spec.use_embedding ? " emb" : "") + (c.use_prof ? " prof" : "") +
                 (spec.filter_subtrace ? " subtrace" : "") +
-                (spec.only_category >= 0 ? " cat-filter" : "");
+                (spec.only_category >= 0 ? " cat-filter" : "") +
+                (spec.n_streams > 1 ? " streams=" + std::to_string(spec.n_streams) : "") +
+                (spec.async_level > 0 ? " async" : " serial");
     return c;
 }
 

@@ -12,7 +12,11 @@
 /// legality surface), embedding lookups, collectives, wrapper scopes,
 /// autograd use, execution mode, stream maps and selection filters — runs it
 /// on a real recording Session, and hands back the captured ExecutionTrace +
-/// ProfilerTrace + a matching ReplayConfig.
+/// ProfilerTrace + a matching ReplayConfig.  Half the corpus additionally
+/// spreads its compute kernels over a randomized correlation→stream map
+/// (2–4 streams, collectives interleaved on the comm stream), creating the
+/// cross-stream dependencies the async executor schedules around, and the
+/// config's async_level alternates so both executors face every check.
 ///
 /// Every trace is *valid by construction* (it was actually executed, so
 /// schemas, tensor IDs, parent links and process groups are exactly what the

@@ -102,5 +102,116 @@ TEST(Interval, OverlapPredicate)
     EXPECT_FALSE(a.overlaps({-2, 0}));
 }
 
+TEST(MultiStreamTimeline, EmptyIsAllZero)
+{
+    MultiStreamTimeline t;
+    EXPECT_EQ(t.stream_count(), 0u);
+    EXPECT_DOUBLE_EQ(t.span_end(), 0.0);
+    EXPECT_DOUBLE_EQ(t.serialized_length(), 0.0);
+    EXPECT_DOUBLE_EQ(t.overlap_excess(), 0.0);
+    EXPECT_DOUBLE_EQ(t.contended_finish(0.5), 0.0);
+}
+
+TEST(MultiStreamTimeline, SingleStreamMatchesSerializedModel)
+{
+    // One stream = the old single-stream executor: back-to-back kernels, no
+    // overlap, no contention at any alpha.
+    MultiStreamTimeline t;
+    t.add(7, {0, 4});
+    t.add(7, {4, 10});
+    EXPECT_EQ(t.stream_count(), 1u);
+    EXPECT_DOUBLE_EQ(t.span_end(), 10.0);
+    EXPECT_DOUBLE_EQ(t.serialized_length(), 10.0);
+    EXPECT_DOUBLE_EQ(t.overlap_excess(), 0.0);
+    EXPECT_DOUBLE_EQ(t.contended_finish(1000.0), 10.0);
+}
+
+TEST(MultiStreamTimeline, TwoStreamOverlapShortensCriticalPath)
+{
+    // Two streams each busy [0,10): concurrent finish is 10, the serialized
+    // walk would take 20, and all 10 units of busy time ran concurrently.
+    MultiStreamTimeline t;
+    t.add(7, {0, 10});
+    t.add(9, {0, 10});
+    EXPECT_EQ(t.stream_count(), 2u);
+    EXPECT_DOUBLE_EQ(t.span_end(), 10.0);
+    EXPECT_DOUBLE_EQ(t.serialized_length(), 20.0);
+    EXPECT_LT(t.span_end(), t.serialized_length());
+    EXPECT_DOUBLE_EQ(t.overlap_excess(), 10.0);
+    // alpha interpolates between free overlap and full serialization.
+    EXPECT_DOUBLE_EQ(t.contended_finish(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(t.contended_finish(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(t.contended_finish(1.0), t.serialized_length());
+}
+
+TEST(MultiStreamTimeline, DisjointStreamsPayNoPenalty)
+{
+    // Comm on [10,20) after compute on [0,10): overlap never happened, so
+    // contention must not be charged even across streams.
+    MultiStreamTimeline t;
+    t.add(7, {0, 10});
+    t.add(20, {10, 20});
+    EXPECT_DOUBLE_EQ(t.span_end(), 20.0);
+    EXPECT_DOUBLE_EQ(t.overlap_excess(), 0.0);
+    EXPECT_DOUBLE_EQ(t.contended_finish(0.05), 20.0);
+}
+
+TEST(MultiStreamTimeline, PartialOverlapCountsOnlyTheConcurrentPortion)
+{
+    // Stream 7 busy [0,10), stream 9 busy [6,14): only [6,10) is concurrent.
+    MultiStreamTimeline t;
+    t.add(7, {0, 10});
+    t.add(9, {6, 14});
+    EXPECT_DOUBLE_EQ(t.span_end(), 14.0);
+    EXPECT_DOUBLE_EQ(t.serialized_length(), 18.0);
+    EXPECT_DOUBLE_EQ(t.overlap_excess(), 4.0);
+    EXPECT_DOUBLE_EQ(t.contended_finish(0.5), 16.0);
+}
+
+TEST(MultiStreamTimeline, IntraStreamOverlapIsNotContention)
+{
+    // Overlapping intervals on the SAME stream (an artifact the per-stream
+    // union must absorb) contribute no cross-stream excess.
+    MultiStreamTimeline t;
+    t.add(7, {0, 10});
+    t.add(7, {5, 12});
+    EXPECT_DOUBLE_EQ(t.span_end(), 12.0);
+    EXPECT_DOUBLE_EQ(t.overlap_excess(), 0.0);
+}
+
+TEST(MultiStreamTimeline, InsertionOrderIndependent)
+{
+    // The model is a pure function of the interval multiset — the async
+    // executor's bit-identity across schedules depends on it.
+    MultiStreamTimeline a;
+    a.add(7, {0, 4});
+    a.add(9, {2, 6});
+    a.add(7, {4, 8});
+    a.add(20, {1, 3});
+
+    MultiStreamTimeline b;
+    b.add(20, {1, 3});
+    b.add(7, {4, 8});
+    b.add(7, {0, 4});
+    b.add(9, {2, 6});
+
+    EXPECT_EQ(a.stream_count(), b.stream_count());
+    EXPECT_DOUBLE_EQ(a.span_end(), b.span_end());
+    EXPECT_DOUBLE_EQ(a.serialized_length(), b.serialized_length());
+    EXPECT_DOUBLE_EQ(a.overlap_excess(), b.overlap_excess());
+    EXPECT_DOUBLE_EQ(a.contended_finish(0.05), b.contended_finish(0.05));
+}
+
+TEST(MultiStreamTimeline, ResetClears)
+{
+    MultiStreamTimeline t;
+    t.add(7, {0, 10});
+    t.add(9, {0, 10});
+    t.reset();
+    EXPECT_EQ(t.stream_count(), 0u);
+    EXPECT_DOUBLE_EQ(t.overlap_excess(), 0.0);
+    EXPECT_DOUBLE_EQ(t.span_end(), 0.0);
+}
+
 } // namespace
 } // namespace mystique::sim

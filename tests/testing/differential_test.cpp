@@ -42,9 +42,10 @@ TEST(DifferentialOracle, FixedSeedCorpusPassesAllChecks)
     EXPECT_TRUE(oracle.ok()) << describe_failures(oracle);
     EXPECT_EQ(oracle.counters().traces, kCases);
     EXPECT_EQ(oracle.counters().mismatches, oracle.failures().size());
-    // Four per-case checks plus the two corpus-level sweep checks
-    // (parallelism invariance and journal resume / resilience).
-    EXPECT_EQ(oracle.counters().checks, kCases * 4 + 2);
+    // Five per-case checks (replay-vs-direct, opt-level, plan round-trip,
+    // key stability, stream identity) plus the two corpus-level sweep
+    // checks (parallelism invariance and journal resume / resilience).
+    EXPECT_EQ(oracle.counters().checks, kCases * 5 + 2);
 }
 
 TEST(DifferentialOracle, SweepCheckHandlesEmptyAndSingletonCorpora)

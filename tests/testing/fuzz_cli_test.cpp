@@ -120,6 +120,8 @@ TEST(FuzzCli, OracleMismatchExitsOneWithReproLine)
     EXPECT_EQ(rc, 1) << out;
     EXPECT_NE(out.find("FAIL case-seed=99 check=sweep-"), std::string::npos) << out;
     EXPECT_NE(out.find("reproduce: mystique-fuzz --case 99"), std::string::npos) << out;
+    // The hint is self-describing: it names the check the rerun should watch.
+    EXPECT_NE(out.find("(expect check=sweep-"), std::string::npos) << out;
     EXPECT_NE(out.find("status=FAILED"), std::string::npos) << out;
 }
 

@@ -7,8 +7,9 @@
 ///
 /// Default --iters comes from MYST_FUZZ_ITERS (else 25); CI runs the fixed
 /// `--seed 7` smoke corpus and one churn pass (see scripts/ci.sh).  Every
-/// failure line carries the *case seed*; `--case <seed>` reproduces that
-/// exact trace, config and checks, regardless of the corpus it came from.
+/// failure line carries the *case seed* and the *failing check name* (the
+/// reproduce hint repeats both); `--case <seed>` reproduces that exact
+/// trace, config and checks, regardless of the corpus it came from.
 ///
 /// Exit status: 0 = all checks passed; 1 = mismatches or churn violations;
 /// 2 = usage error.
